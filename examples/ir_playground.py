@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""IR playground: write textual IR, optimize it, run it.
+
+Demonstrates the low-level workflow: parse hand-written IR for a kernel
+that still contains a broadcast write + assumption pattern (the paper's
+Fig. 7b/8b idiom), run the openmp-opt pipeline over it, print the
+before/after IR, and execute both versions on the virtual GPU to show
+identical results at different cost.
+
+Run:  python examples/ir_playground.py
+"""
+
+import numpy as np
+
+from repro.ir import parse_module, print_module, verify_module
+from repro.passes import PipelineConfig, run_openmp_opt_pipeline
+from repro.vgpu import VirtualGPU
+
+KERNEL_TEXT = """; module playground
+@state = internal addrspace(3) global i32 zeroinitializer
+@dummy = internal addrspace(3) global i64 zeroinitializer
+
+define void @kern(ptr addrspace(1) %out, i64 %n) kernel {
+entry:
+  %tid = call i32 @gpu.thread_id()
+  %is0 = icmp eq i32 %tid, 0
+  ; Fig. 7b: broadcast through a conditional pointer
+  %target = select %is0, i32 42, 0
+  %where = select %is0, ptr addrspace(3) @state, @dummy
+  store i32 %target, %where
+  call void @gpu.barrier.aligned()
+  ; Fig. 8b: pin the broadcast value for the optimizer
+  %anchor = load i32, @state
+  %fact = icmp eq i32 %anchor, 42
+  call void @llvm.assume(i1 %fact)
+  ; consume the state: out[tid] = state * tid
+  %v = load i32, @state
+  %v64 = sext i32 %v to i64
+  %tid64 = sext i32 %tid to i64
+  %prod = mul i64 %v64, %tid64
+  %off = mul i64 %tid64, 8
+  %slot = ptradd %out, %off
+  store i64 %prod, %slot
+  ret void
+}
+
+declare i32 @gpu.thread_id() readnone
+declare void @gpu.barrier.aligned() assumes("ext_aligned_barrier,ext_no_call_asm")
+declare void @llvm.assume(i1 %cond) readnone
+"""
+
+
+def run(module, label):
+    gpu = VirtualGPU(module)
+    out = gpu.alloc_array(np.zeros(8, dtype=np.int64))
+    profile = gpu.launch("kern", [out, 8], 1, 8)
+    values = list(gpu.read_array(out, np.int64, 8))
+    print(f"{label}: cycles={profile.cycles}, barriers={profile.barriers}, "
+          f"smem={profile.shared_memory_bytes}B, out={values}")
+    return values
+
+
+def main() -> None:
+    module = parse_module(KERNEL_TEXT)
+    verify_module(module)
+    print("== before optimization")
+    print(print_module(module))
+    before = run(module, "unoptimized")
+
+    run_openmp_opt_pipeline(module, PipelineConfig())
+    verify_module(module)
+    print("\n== after the openmp-opt pipeline")
+    print(print_module(module))
+    after = run(module, "optimized  ")
+
+    assert before == after, "optimization changed results!"
+    print("\nThe broadcast state, the barrier and the shared globals were")
+    print("folded into the constant 42 — the Fig. 7b/8b mechanism end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one kernel five ways and watch the overhead vanish.
+
+Builds a SAXPY-style ``target teams distribute parallel for`` in the
+kernel DSL, compiles it against every configuration of the paper's
+evaluation (§V), runs each on the virtual GPU, verifies the numerics,
+and prints the Fig.-11-style resource table.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.frontend import ast as A
+from repro.frontend.driver import CompileOptions, compile_program
+from repro.ir.types import F64, I64, PTR
+from repro.bench.builds import BUILD_ORDER, build_options
+from repro.vgpu import VirtualGPU
+
+TEAMS, THREADS, N = 8, 32, 256
+
+
+def build_saxpy() -> A.Program:
+    """y[i] = a * x[i] + y[i] over n elements."""
+    iv = A.Var("iv")
+    kernel = A.KernelDef(
+        "saxpy",
+        params=[
+            A.Param("x", PTR),
+            A.Param("y", PTR),
+            A.Param("a", F64),
+            A.Param("n", I64),
+        ],
+        trip_count=A.Arg("n"),
+        body=[
+            A.StoreIdx(A.Arg("y"), iv,
+                       A.Arg("a") * A.Index(A.Arg("x"), iv)
+                       + A.Index(A.Arg("y"), iv)),
+        ],
+    )
+    return A.Program("quickstart", kernels=[kernel])
+
+
+def main() -> None:
+    program = build_saxpy()
+    x = np.arange(N, dtype=np.float64)
+    y0 = np.ones(N)
+    expected = 2.5 * x + y0
+
+    print(f"SAXPY, n={N}, launched as {TEAMS} teams x {THREADS} threads\n")
+    header = f"{'build':28s} {'cycles':>8s} {'regs':>5s} {'smem':>8s} {'barriers':>8s}  ok"
+    print(header)
+    print("-" * len(header))
+
+    for build in BUILD_ORDER:
+        options = build_options()[build]
+        compiled = compile_program(program, options)
+        gpu = VirtualGPU(compiled.module)
+        px, py = gpu.alloc_array(x), gpu.alloc_array(y0)
+        args = compiled.abi("saxpy").marshal(
+            gpu, {"x": px, "y": py, "a": 2.5, "n": N})
+        profile = gpu.launch("saxpy", args, TEAMS, THREADS)
+        got = gpu.read_array(py, np.float64, N)
+        ok = np.allclose(got, expected)
+        print(f"{build:28s} {profile.cycles:8d} {profile.registers:5d} "
+              f"{profile.shared_memory_bytes:7d}B {profile.barriers:8d}  "
+              f"{'yes' if ok else 'NO'}")
+
+    print("\nThe co-designed runtime plus the openmp-opt pipeline removes")
+    print("every byte of shared state and every barrier — the 'New RT'")
+    print("row is the paper's near-zero-overhead result.")
+
+
+if __name__ == "__main__":
+    main()

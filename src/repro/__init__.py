@@ -1,0 +1,6 @@
+"""repro — simulated reproduction of the IPDPS'22 OpenMP GPU runtime co-design paper.
+
+Top-level convenience re-exports; see DESIGN.md for the system map.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""CLI: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig10
+    python -m repro.bench fig11
+    python -m repro.bench fig12
+    python -m repro.bench fig13
+    python -m repro.bench oversub
+    python -m repro.bench json     (machine-readable full report)
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import figures
+
+
+def main(argv) -> int:
+    what = argv[1] if len(argv) > 1 else "all"
+    if what in ("fig10", "all"):
+        print(figures.format_fig10(figures.fig10_relative_performance()))
+        print()
+    if what in ("fig11", "all"):
+        print(figures.format_fig11(figures.fig11_resources()))
+        print()
+    if what in ("fig12", "all"):
+        print(figures.format_fig12(figures.fig12_gridmini_gflops()))
+        print()
+    if what in ("fig13", "all"):
+        print(figures.format_fig13(figures.fig13_ablation()))
+        print()
+    if what in ("oversub", "all"):
+        print(figures.format_oversubscription(figures.oversubscription_effect()))
+        print()
+    if what == "json":
+        from repro.bench.report import render_json
+
+        print(render_json())
+    if what not in ("fig10", "fig11", "fig12", "fig13", "oversub", "json", "all"):
+        print(__doc__)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

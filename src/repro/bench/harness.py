@@ -1,0 +1,69 @@
+"""Benchmark harness: runs apps across the build matrix and collects
+profiles for the figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps import gridmini, minifmm, rsbench, testsnap, xsbench
+from repro.apps.common import AppRunResult
+from repro.bench.builds import BUILD_ORDER, CUDA, build_options
+from repro.frontend.driver import CompileOptions
+
+#: App registry: name -> module with the common app surface.
+APPS = {
+    "xsbench": xsbench,
+    "rsbench": rsbench,
+    "gridmini": gridmini,
+    "testsnap": testsnap,
+    "minifmm": minifmm,
+}
+
+#: The paper could not establish a one-to-one CUDA kernel mapping for
+#: TestSNAP (Kokkos), so its CUDA column is omitted from figures.
+SKIP_CUDA = {"testsnap"}
+
+
+@dataclass
+class MatrixResult:
+    """All build results for one application."""
+
+    app: str
+    results: Dict[str, AppRunResult] = field(default_factory=dict)
+
+    def cycles(self, build: str) -> int:
+        return self.results[build].profile.cycles
+
+    def relative_performance(self, baseline: str) -> Dict[str, float]:
+        """Speedup of each build relative to *baseline* (higher=faster),
+        the normalization of the paper's Fig. 10."""
+        base = self.cycles(baseline)
+        return {
+            build: base / result.profile.cycles
+            for build, result in self.results.items()
+        }
+
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.results.values())
+
+
+def run_build_matrix(
+    app_name: str,
+    builds: Optional[List[str]] = None,
+    size: Optional[Dict[str, int]] = None,
+) -> MatrixResult:
+    """Run *app_name* under each named build configuration."""
+    app = APPS[app_name]
+    options = build_options()
+    wanted = builds or list(BUILD_ORDER)
+    if app_name in SKIP_CUDA and CUDA in wanted:
+        wanted = [b for b in wanted if b != CUDA]
+    out = MatrixResult(app=app_name)
+    for build in wanted:
+        out.results[build] = app.run(options[build], size=size)
+    return out
+
+
+def run_single(app_name: str, options: CompileOptions, **kwargs) -> AppRunResult:
+    return APPS[app_name].run(options, **kwargs)

@@ -1,0 +1,39 @@
+"""Machine-readable evaluation report (JSON).
+
+``python -m repro.bench json`` emits every experiment as one JSON
+document, for plotting or regression tracking across versions of this
+repository.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Dict
+
+from repro.bench import figures
+
+
+def collect_report(apps=None) -> Dict[str, Any]:
+    """Run every experiment and collect the results."""
+    fig11_rows = figures.fig11_resources(apps)
+    oversub = figures.oversubscription_effect()
+    return {
+        "fig10_relative_performance": figures.fig10_relative_performance(),
+        "fig11_resources": [asdict(row) for row in fig11_rows],
+        "fig12_gridmini_gflops": figures.fig12_gridmini_gflops(),
+        "fig13_ablation_cycles": figures.fig13_ablation(),
+        "oversubscription": {
+            "app": oversub.app,
+            "cycles_without": oversub.cycles_without,
+            "cycles_with": oversub.cycles_with,
+            "registers_without": oversub.registers_without,
+            "registers_with": oversub.registers_with,
+            "register_delta": oversub.register_delta,
+            "time_delta_percent": oversub.time_delta_percent,
+        },
+    }
+
+
+def render_json(apps=None, indent: int = 2) -> str:
+    return json.dumps(collect_report(apps), indent=indent, sort_keys=True)

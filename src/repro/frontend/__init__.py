@@ -1,0 +1,9 @@
+"""The simulated Clang frontend: DSL, OpenMP and CUDA lowerings, driver."""
+
+from repro.frontend import ast  # noqa: F401
+from repro.frontend.abi import KernelABI  # noqa: F401
+from repro.frontend.driver import (  # noqa: F401
+    CompileOptions,
+    CompiledProgram,
+    compile_program,
+)

@@ -1,0 +1,102 @@
+"""Compilation driver: DSL program → optimized device module.
+
+Mirrors the paper's toolchain (§II-B): lower against the chosen device
+runtime (or as CUDA), "link" the runtime in, run the openmp-opt
+pipeline, and hand back the final binary plus remarks and ABI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Sequence
+
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+from repro.frontend import ast as A
+from repro.frontend.abi import KernelABI
+from repro.frontend.cuda import lower_program_cuda
+from repro.frontend.lower import lower_program_openmp
+from repro.passes.pass_manager import PipelineConfig
+from repro.passes.pipeline import run_openmp_opt_pipeline
+from repro.passes.remarks import RemarkCollector
+from repro.runtime.config import (
+    DEBUG_ASSERTIONS,
+    DEBUG_FUNCTION_TRACING,
+    RuntimeConfig,
+)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything the command line would control."""
+
+    #: "openmp" or "cuda".
+    mode: str = "openmp"
+    #: Device runtime flavour: "new" (co-designed) or "old" (legacy).
+    runtime: str = "new"
+    #: Optimization pipeline controls (including the ablation flags).
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    #: Compile-time runtime parameters (debug mask, over-subscription
+    #: assumptions, shared-stack sizing).
+    runtime_config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Verify IR before and after optimizing.
+    verify: bool = True
+
+    def with_debug(self) -> "CompileOptions":
+        """Debug build: assertions + tracing compiled in (§III-G)."""
+        return replace(
+            self,
+            runtime_config=replace(
+                self.runtime_config,
+                debug_kind=DEBUG_ASSERTIONS | DEBUG_FUNCTION_TRACING,
+            ),
+        )
+
+    def with_oversubscription(self, teams: bool = True, threads: bool = True) -> "CompileOptions":
+        """Apply ``-fopenmp-assume-*-oversubscription`` (§III-F)."""
+        return replace(
+            self,
+            runtime_config=replace(
+                self.runtime_config,
+                assume_teams_oversubscription=teams,
+                assume_threads_oversubscription=threads,
+            ),
+        )
+
+
+@dataclass
+class CompiledProgram:
+    """The result of one compilation."""
+
+    module: Module
+    abis: Dict[str, KernelABI]
+    options: CompileOptions
+    remarks: RemarkCollector
+
+    def kernel(self, name: str) -> Function:
+        return self.module.get_function(name)
+
+    def abi(self, name: str) -> KernelABI:
+        return self.abis[name]
+
+
+def compile_program(
+    program: A.Program, options: Optional[CompileOptions] = None
+) -> CompiledProgram:
+    """Compile *program* according to *options*."""
+    options = options or CompileOptions()
+    if options.mode == "cuda":
+        module, abis = lower_program_cuda(program)
+    elif options.mode == "openmp":
+        module, abis = lower_program_openmp(
+            program, options.runtime, options.runtime_config
+        )
+    else:
+        raise ValueError(f"unknown mode {options.mode!r}")
+    if options.verify:
+        verify_module(module)
+    remarks = RemarkCollector()
+    run_openmp_opt_pipeline(module, options.pipeline, remarks)
+    if options.verify:
+        verify_module(module)
+    return CompiledProgram(module=module, abis=abis, options=options, remarks=remarks)

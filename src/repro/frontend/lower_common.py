@@ -1,0 +1,490 @@
+"""Expression/statement lowering shared by the OpenMP and CUDA paths.
+
+The two frontends differ only in kernel scaffolding (runtime calls and
+capture buffers vs direct grid-stride loops) and in how a handful of
+constructs map (OpenMP API queries, barriers, aggregates); everything
+else goes through this common lowerer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.memory.layout import DATA_LAYOUT
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.types import (
+    F32,
+    F64,
+    FloatType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from repro.ir.values import Constant, GlobalVariable, Value
+from repro.frontend import ast as A
+
+
+class LoweringError(Exception):
+    """Malformed DSL input."""
+
+
+# Bindings in the environment.
+ValueBinding = Tuple[str, object]  # ("value", Value) | ("slot", ptr, ty) | ...
+
+_MATH_NAMES = {"sqrt", "exp", "log", "sin", "cos", "fabs", "floor", "pow", "fmin", "fmax"}
+
+_CMP_INT = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+_CMP_FLOAT = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+_BIN_INT = {
+    "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
+}
+_BIN_FLOAT = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv", "%": "frem"}
+
+
+def struct_param_type(kernel_name: str, param: A.StructParam) -> StructType:
+    return StructType(f"{kernel_name}.{param.name}", tuple(param.fields))
+
+
+class BodyLowerer:
+    """Lowers DSL statements into IR at a builder's insertion point."""
+
+    def __init__(
+        self,
+        module: Module,
+        builder: IRBuilder,
+        env: Dict[str, Tuple],
+        *,
+        omp_query: Callable[[IRBuilder, str], Value],
+        barrier: Callable[[IRBuilder], None],
+        emit_assert: Callable[[IRBuilder, Value, str], None],
+        device_functions: Dict[str, Function],
+        struct_types: Dict[str, StructType],
+        local_array: Optional[Callable] = None,
+    ) -> None:
+        self.module = module
+        self.b = builder
+        self.env = env
+        self.omp_query = omp_query
+        self.barrier = barrier
+        self.emit_assert = emit_assert
+        self.device_functions = device_functions
+        self.struct_types = struct_types
+        #: Mode hook allocating an addressable local array; returns
+        #: (pointer value, optional cleanup emitter run before returns).
+        self.local_array = local_array
+        self.cleanups: List[Callable[[IRBuilder], None]] = []
+
+    # ------------------------------------------------------------- utilities --
+
+    @property
+    def function(self) -> Function:
+        return self.b.function
+
+    def alloca_in_entry(self, ty: Type, name: str) -> Value:
+        from repro.ir.instructions import Alloca
+
+        entry = self.function.entry
+        inst = Alloca(ty, name)
+        entry.insert(entry.first_non_phi_index(), inst)
+        return inst
+
+    def terminated(self) -> bool:
+        block = self.b.block
+        return block is not None and block.terminator is not None
+
+    def coerce(self, value: Value, ty: Type) -> Value:
+        if value.type == ty:
+            return value
+        if isinstance(value, Constant):
+            if isinstance(ty, (IntType, FloatType)):
+                return Constant(ty, value.value)
+        if isinstance(value.type, IntType) and isinstance(ty, IntType):
+            if value.type.bits < ty.bits:
+                return self.b.sext(value, ty)
+            return self.b.trunc(value, ty)
+        if isinstance(value.type, IntType) and isinstance(ty, FloatType):
+            return self.b.sitofp(value, ty)
+        if isinstance(value.type, FloatType) and isinstance(ty, IntType):
+            return self.b.fptosi(value, ty)
+        if isinstance(value.type, FloatType) and isinstance(ty, FloatType):
+            op = "fpext" if value.type.bits < ty.bits else "fptrunc"
+            return self.b.cast(op, value, ty)
+        if isinstance(value.type, PointerType) and isinstance(ty, PointerType):
+            return value
+        raise LoweringError(f"cannot coerce {value.type} to {ty}")
+
+    def _unify(self, lhs: Value, rhs: Value) -> Tuple[Value, Value]:
+        if lhs.type == rhs.type:
+            return lhs, rhs
+        # Constants adopt the other side's type.
+        if isinstance(rhs, Constant) and isinstance(lhs.type, (IntType, FloatType)):
+            return lhs, Constant(lhs.type, rhs.value)
+        if isinstance(lhs, Constant) and isinstance(rhs.type, (IntType, FloatType)):
+            return Constant(rhs.type, lhs.value), rhs
+        lt, rt = lhs.type, rhs.type
+        if isinstance(lt, IntType) and isinstance(rt, IntType):
+            ty = lt if lt.bits >= rt.bits else rt
+            return self.coerce(lhs, ty), self.coerce(rhs, ty)
+        if isinstance(lt, FloatType) and isinstance(rt, IntType):
+            return lhs, self.coerce(rhs, lt)
+        if isinstance(lt, IntType) and isinstance(rt, FloatType):
+            return self.coerce(lhs, rt), rhs
+        if isinstance(lt, FloatType) and isinstance(rt, FloatType):
+            ty = lt if lt.bits >= rt.bits else rt
+            return self.coerce(lhs, ty), self.coerce(rhs, ty)
+        raise LoweringError(f"incompatible operand types {lt} and {rt}")
+
+    # ------------------------------------------------------------ expressions --
+
+    def expr(self, node) -> Value:
+        if not isinstance(node, A.Expr):
+            node = A._wrap(node)  # bare Python numbers in node fields
+        if isinstance(node, A.Const):
+            return Constant(node.ty, node.value)
+        if isinstance(node, A.Arg):
+            return self._read_name(node.name)
+        if isinstance(node, A.Var):
+            return self._read_name(node.name)
+        if isinstance(node, A.Bin):
+            lhs, rhs = self._unify(self.expr(node.lhs), self.expr(node.rhs))
+            if isinstance(lhs.type, FloatType):
+                op = _BIN_FLOAT.get(node.op)
+            else:
+                op = _BIN_INT.get(node.op)
+            if op is None:
+                raise LoweringError(f"operator {node.op} not valid for {lhs.type}")
+            return self.b._binop(op, lhs, rhs, "")
+        if isinstance(node, A.Cmp):
+            lhs, rhs = self._unify(self.expr(node.lhs), self.expr(node.rhs))
+            if isinstance(lhs.type, FloatType):
+                return self.b.fcmp(_CMP_FLOAT[node.op], lhs, rhs)
+            return self.b.icmp(_CMP_INT[node.op], lhs, rhs)
+        if isinstance(node, A.Not):
+            v = self.expr(node.operand)
+            if v.type != I1:
+                raise LoweringError("Not() requires a boolean operand")
+            return self.b.xor(v, Constant(I1, 1))
+        if isinstance(node, A.SelectExpr):
+            cond = self.expr(node.cond)
+            a, b_ = self._unify(self.expr(node.if_true), self.expr(node.if_false))
+            return self.b.select(cond, a, b_)
+        if isinstance(node, A.CastTo):
+            return self.coerce(self.expr(node.operand), node.ty)
+        if isinstance(node, A.Index):
+            base = self.expr(node.base)
+            idx = self.coerce(self.expr(node.index), I64)
+            addr = self.b.array_gep(base, node.elem_ty, idx)
+            return self.b.load(node.elem_ty, addr)
+        if isinstance(node, A.Field):
+            return self._read_field(node.param, node.field_name)
+        if isinstance(node, A.SharedRef):
+            binding = self.env.get(node.name)
+            if binding is None or binding[0] != "shared":
+                raise LoweringError(f"unknown shared array {node.name}")
+            return binding[1]
+        if isinstance(node, A.LocalRef):
+            binding = self.env.get(node.name)
+            if binding is None or binding[0] != "local_array":
+                raise LoweringError(f"unknown local array {node.name}")
+            return binding[1]
+        if isinstance(node, A.MathCall):
+            if node.name not in _MATH_NAMES:
+                raise LoweringError(f"unknown math function {node.name}")
+            args = [self.coerce(self.expr(a), F64) for a in node.args]
+            return self.b.intrinsic(f"llvm.{node.name}.f64", args)
+        if isinstance(node, A.OmpCall):
+            return self.omp_query(self.b, node.what)
+        if isinstance(node, A.FuncCall):
+            func = self.device_functions.get(node.name)
+            if func is None:
+                raise LoweringError(f"unknown device function {node.name}")
+            args = [
+                self.coerce(self.expr(a), p.type)
+                for a, p in zip(node.args, func.args)
+            ]
+            if len(args) != len(func.args):
+                raise LoweringError(f"arity mismatch calling {node.name}")
+            return self.b.call(func, args)
+        raise LoweringError(f"cannot lower expression {node!r}")
+
+    def _read_name(self, name: str) -> Value:
+        binding = self.env.get(name)
+        if binding is None:
+            raise LoweringError(f"unknown name {name!r}")
+        kind = binding[0]
+        if kind == "value":
+            return binding[1]
+        if kind == "slot":
+            return self.b.load(binding[2], binding[1], name)
+        if kind in ("shared", "local_array"):
+            return binding[1]
+        raise LoweringError(f"{name!r} is not a readable value")
+
+    def _read_field(self, param: str, field_name: str) -> Value:
+        binding = self.env.get(param)
+        if binding is None:
+            raise LoweringError(f"unknown struct parameter {param!r}")
+        kind = binding[0]
+        if kind == "struct_ref":
+            ptr, sty = binding[1], binding[2]
+            offset = DATA_LAYOUT.field_offset(sty, field_name)
+            return self.b.load(sty.field_type(field_name), self.b.ptradd(ptr, offset))
+        if kind == "struct_vals":
+            return binding[1][field_name]
+        raise LoweringError(f"{param!r} is not a struct parameter")
+
+    # -------------------------------------------------------------- statements --
+
+    def stmts(self, body: Sequence[A.Stmt]) -> None:
+        for stmt in body:
+            if self.terminated():
+                return  # unreachable code after return
+            self.stmt(stmt)
+
+    def stmt(self, node: A.Stmt) -> None:
+        b = self.b
+        if isinstance(node, A.Let):
+            init = self.expr(node.init)
+            ty = node.ty or init.type
+            slot = self.alloca_in_entry(ty, node.name)
+            b.store(self.coerce(init, ty), slot)
+            self.env[node.name] = ("slot", slot, ty)
+            return
+        if isinstance(node, A.Assign):
+            binding = self.env.get(node.name)
+            if binding is None or binding[0] != "slot":
+                raise LoweringError(f"cannot assign to {node.name!r}")
+            _, slot, ty = binding
+            b.store(self.coerce(self.expr(node.value), ty), slot)
+            return
+        if isinstance(node, A.StoreIdx):
+            base = self.expr(node.base)
+            idx = self.coerce(self.expr(node.index), I64)
+            addr = b.array_gep(base, node.elem_ty, idx)
+            b.store(self.coerce(self.expr(node.value), node.elem_ty), addr)
+            return
+        if isinstance(node, A.Atomic):
+            base = self.expr(node.base)
+            idx = self.coerce(self.expr(node.index), I64)
+            addr = b.array_gep(base, node.elem_ty, idx)
+            b.atomic_rmw(node.op, addr, self.coerce(self.expr(node.value), node.elem_ty))
+            return
+        if isinstance(node, A.If):
+            self._lower_if(node)
+            return
+        if isinstance(node, A.While):
+            self._lower_while(node)
+            return
+        if isinstance(node, A.ForRange):
+            self._lower_for(node)
+            return
+        if isinstance(node, A.CallStmt):
+            self.expr(node.call)
+            return
+        if isinstance(node, A.ReturnStmt):
+            value = None
+            if node.value is not None:
+                value = self.coerce(self.expr(node.value), self.function.return_type)
+            for cleanup in reversed(self.cleanups):
+                cleanup(b)
+            b.ret(value)
+            return
+        if isinstance(node, A.DeclLocalArray):
+            if self.local_array is None:
+                raise LoweringError("local arrays not supported in this context")
+            ptr, cleanup = self.local_array(b, node)
+            self.env[node.name] = ("local_array", ptr, node)
+            if cleanup is not None:
+                self.cleanups.append(cleanup)
+            return
+        if isinstance(node, A.BarrierStmt):
+            self.barrier(b)
+            return
+        if isinstance(node, A.AssertStmt):
+            self.emit_assert(b, self.expr(node.cond), node.message)
+            return
+        if isinstance(node, A.AssumeStmt):
+            b.assume(self.expr(node.cond))
+            return
+        raise LoweringError(f"cannot lower statement {node!r}")
+
+    def _lower_if(self, node: A.If) -> None:
+        b = self.b
+        cond = self.expr(node.cond)
+        func = self.function
+        then_block = func.add_block("if.then")
+        merge_block = func.add_block("if.end")
+        else_block = func.add_block("if.else") if node.els else merge_block
+        b.cond_br(cond, then_block, else_block)
+
+        b.set_insert_point(then_block)
+        self.stmts(node.then)
+        if not self.terminated():
+            b.br(merge_block)
+        if node.els:
+            b.set_insert_point(else_block)
+            self.stmts(node.els)
+            if not self.terminated():
+                b.br(merge_block)
+        b.set_insert_point(merge_block)
+
+    def _lower_while(self, node: A.While) -> None:
+        b = self.b
+        func = self.function
+        header = func.add_block("while.header")
+        body = func.add_block("while.body")
+        exit_block = func.add_block("while.end")
+        b.br(header)
+        b.set_insert_point(header)
+        b.cond_br(self.expr(node.cond), body, exit_block)
+        b.set_insert_point(body)
+        self.stmts(node.body)
+        if not self.terminated():
+            b.br(header)
+        b.set_insert_point(exit_block)
+
+    def _lower_for(self, node: A.ForRange) -> None:
+        b = self.b
+        func = self.function
+        start = self.coerce(self.expr(node.start), I64)
+        stop = self.coerce(self.expr(node.stop), I64)
+        step = self.coerce(self.expr(node.step), I64)
+        slot = self.alloca_in_entry(I64, node.var)
+        b.store(start, slot)
+        outer_binding = self.env.get(node.var)
+        self.env[node.var] = ("slot", slot, I64)
+
+        header = func.add_block(f"for.{node.var}.header")
+        body = func.add_block(f"for.{node.var}.body")
+        exit_block = func.add_block(f"for.{node.var}.end")
+        b.br(header)
+        b.set_insert_point(header)
+        iv = b.load(I64, slot, node.var)
+        b.cond_br(b.icmp("slt", iv, stop), body, exit_block)
+        b.set_insert_point(body)
+        self.stmts(node.body)
+        if not self.terminated():
+            iv2 = b.load(I64, slot, node.var)
+            b.store(b.add(iv2, step), slot)
+            b.br(header)
+        b.set_insert_point(exit_block)
+
+        if outer_binding is not None:
+            self.env[node.var] = outer_binding
+        else:
+            del self.env[node.var]
+
+
+# ----------------------------------------------------------- param attributes --
+
+
+def _args_in_expr(node, out) -> None:
+    if isinstance(node, A.Arg):
+        out.add(node.name)
+        return
+    if isinstance(node, A.Expr):
+        for value in vars(node).values():
+            if isinstance(value, A.Expr):
+                _args_in_expr(value, out)
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, A.Expr):
+                        _args_in_expr(item, out)
+
+
+def _scan_stmts(stmts, written, calls) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (A.StoreIdx, A.Atomic)):
+            _args_in_expr(stmt.base, written)
+        if isinstance(stmt, A.CallStmt):
+            calls.append(stmt.call)
+        for value in vars(stmt).values():
+            if isinstance(value, A.FuncCall):
+                calls.append(value)
+            if isinstance(value, A.Expr):
+                _collect_calls(value, calls)
+            if isinstance(value, tuple):
+                nested = [s for s in value if isinstance(s, A.Stmt)]
+                if nested:
+                    _scan_stmts(nested, written, calls)
+                for item in value:
+                    if isinstance(item, A.Expr):
+                        _collect_calls(item, calls)
+
+
+def _collect_calls(node, calls) -> None:
+    if isinstance(node, A.FuncCall):
+        calls.append(node)
+    if isinstance(node, A.Expr):
+        for value in vars(node).values():
+            if isinstance(value, A.Expr):
+                _collect_calls(value, calls)
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, A.Expr):
+                        _collect_calls(item, calls)
+
+
+def compute_readonly_params(program: "A.Program") -> Dict[str, set]:
+    """Per kernel/device-function: pointer params never written in the
+    call subtree.  These become ``readonly noalias`` IR parameter
+    attributes, enabling redundant-load elimination and loop-invariant
+    hoisting of by-reference aggregate fields (paper §VII)."""
+    units: Dict[str, Tuple] = {}
+    for kernel in program.kernels:
+        stmts = tuple(kernel.preamble) + tuple(kernel.body)
+        units[kernel.name] = (tuple(p.name for p in kernel.params), stmts)
+    for df in program.device_functions:
+        units[df.name] = (tuple(p.name for p in df.params), df.body)
+
+    written: Dict[str, set] = {}
+    call_sites: Dict[str, List[A.FuncCall]] = {}
+    for name, (_, stmts) in units.items():
+        w: set = set()
+        calls: List[A.FuncCall] = []
+        _scan_stmts(stmts, w, calls)
+        written[name] = w
+        call_sites[name] = calls
+
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, _stmts) in units.items():
+            for call in call_sites[name]:
+                callee = units.get(call.name)
+                if callee is None:
+                    continue
+                callee_params, _ = callee
+                for arg_expr, pname in zip(call.args, callee_params):
+                    if pname in written[call.name]:
+                        roots: set = set()
+                        _args_in_expr(arg_expr, roots)
+                        if roots - written[name]:
+                            written[name] |= roots
+                            changed = True
+
+    readonly: Dict[str, set] = {}
+    for name, (params, _) in units.items():
+        readonly[name] = {p for p in params if p not in written[name]}
+    return readonly
+
+
+def apply_param_attrs(func, param_names, readonly: set) -> None:
+    """Mark pointer parameters ``noalias`` (distinct map-clause buffers)
+    and ``readonly`` when the program never writes through them."""
+    for i, name in enumerate(param_names):
+        if i >= len(func.args):
+            break
+        if not isinstance(func.args[i].type, PointerType):
+            continue
+        attrs = func.param_attrs.setdefault(i, set())
+        attrs.add("noalias")
+        if name in readonly:
+            attrs.add("readonly")

@@ -1,0 +1,66 @@
+"""Miniature LLVM-like SSA IR used throughout the reproduction."""
+
+from repro.ir.types import (  # noqa: F401
+    ArrayType,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    PTR,
+    PTR_CONSTANT,
+    PTR_GLOBAL,
+    PTR_LOCAL,
+    PTR_SHARED,
+    StructType,
+    Type,
+    VOID,
+    VoidType,
+    pointer_to,
+)
+from repro.ir.values import (  # noqa: F401
+    Argument,
+    Constant,
+    GlobalVariable,
+    UndefValue,
+    Use,
+    Value,
+    const_float,
+    const_i1,
+    const_i64,
+    const_int,
+    null_pointer,
+)
+from repro.ir.instructions import (  # noqa: F401
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import BasicBlock, Function, Module  # noqa: F401
+from repro.ir.builder import IRBuilder  # noqa: F401
+from repro.ir.verifier import VerificationError, verify_function, verify_module  # noqa: F401
+from repro.ir.printer import print_function, print_module  # noqa: F401
+from repro.ir.parser import ParseError, parse_module  # noqa: F401
+from repro.ir.intrinsics import declare_intrinsic, intrinsic_info, is_intrinsic  # noqa: F401
+from repro.ir.callgraph import CallGraph  # noqa: F401
+from repro.ir.cfg import DominatorTree, predecessors, reverse_post_order  # noqa: F401

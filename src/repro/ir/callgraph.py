@@ -1,0 +1,119 @@
+"""Call graph construction over a module.
+
+The graph distinguishes direct edges from *address-taken* functions
+(those whose address escapes into data or call arguments — e.g. the
+outlined loop bodies passed to the worksharing runtime calls, Fig. 5).
+The inter-procedural passes use it for bottom-up traversals and for
+the lifetime "common ancestor" search of §IV-B2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.ir.instructions import Call
+from repro.ir.module import Function, Module
+
+
+class CallGraph:
+    """Direct call graph plus address-taken tracking."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.graph = nx.MultiDiGraph()
+        self.address_taken: Set[Function] = set()
+        self._call_sites: Dict[Tuple[Function, Function], List[Call]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for func in self.module.functions.values():
+            self.graph.add_node(func)
+        for func in self.module.defined_functions():
+            for inst in func.instructions():
+                if not isinstance(inst, Call):
+                    continue
+                callee = inst.callee
+                if callee is not None:
+                    self.graph.add_edge(func, callee)
+                    self._call_sites.setdefault((func, callee), []).append(inst)
+                # Function-typed arguments escape the callee's address.
+                for arg in inst.args:
+                    if isinstance(arg, Function):
+                        self.address_taken.add(arg)
+
+    # -- queries -------------------------------------------------------------
+
+    def callees(self, func: Function) -> Set[Function]:
+        return set(self.graph.successors(func))
+
+    def callers(self, func: Function) -> Set[Function]:
+        return set(self.graph.predecessors(func))
+
+    def call_sites(self, caller: Function, callee: Function) -> List[Call]:
+        return list(self._call_sites.get((caller, callee), []))
+
+    def all_call_sites_of(self, callee: Function) -> List[Call]:
+        sites: List[Call] = []
+        for caller in self.callers(callee):
+            sites.extend(self.call_sites(caller, callee))
+        return sites
+
+    def is_recursive(self, func: Function) -> bool:
+        """True if *func* participates in a call-graph cycle."""
+        try:
+            cycle_nodes = set()
+            for scc in nx.strongly_connected_components(self.graph):
+                if len(scc) > 1:
+                    cycle_nodes.update(scc)
+                elif func in scc and self.graph.has_edge(func, func):
+                    return True
+            return func in cycle_nodes
+        except nx.NetworkXError:  # pragma: no cover
+            return True
+
+    def has_unknown_callers(self, func: Function) -> bool:
+        """Kernels and externally visible / address-taken functions can be
+        entered from outside the module."""
+        if func.is_kernel:
+            return True
+        if func in self.address_taken:
+            return True
+        return func.linkage != "internal"
+
+    def transitive_callers(self, func: Function) -> Set[Function]:
+        return set(nx.ancestors(self.graph, func))
+
+    def transitive_callees(self, func: Function) -> Set[Function]:
+        return set(nx.descendants(self.graph, func))
+
+    def reachable_from_kernels(self) -> Set[Function]:
+        """Functions reachable (directly or via taken addresses) from any
+        kernel entry point — everything else is dead after linking."""
+        roots: List[Function] = list(self.module.kernels())
+        reached: Set[Function] = set()
+        work = list(roots)
+        while work:
+            func = work.pop()
+            if func in reached:
+                continue
+            reached.add(func)
+            for callee in self.callees(func):
+                work.append(callee)
+            for inst in func.instructions() if not func.is_declaration else ():
+                if isinstance(inst, Call):
+                    for arg in inst.args:
+                        if isinstance(arg, Function):
+                            work.append(arg)
+        return reached
+
+    def bottom_up_order(self) -> List[Function]:
+        """Functions ordered callees-first (SCCs collapsed arbitrarily)."""
+        condensed = nx.condensation(self.graph)
+        order: List[Function] = []
+        for node in nx.topological_sort(condensed):
+            members = condensed.nodes[node]["members"]
+            order.extend(members)
+        order.reverse()
+        return order

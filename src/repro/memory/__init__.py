@@ -1,0 +1,24 @@
+"""Address spaces, data layout and simulated memory segments.
+
+``repro.memory.layout`` imports the IR type definitions, which in turn
+import :mod:`repro.memory.addrspace`; to keep that import chain acyclic
+this package eagerly exposes only the address-space helpers and loads
+the layout names lazily.
+"""
+
+from repro.memory.addrspace import (  # noqa: F401
+    AddressSpace,
+    make_pointer,
+    pointer_offset,
+    pointer_space,
+)
+
+_LAZY = {"DATA_LAYOUT", "DataLayout", "StructLayout"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.memory import layout
+
+        return getattr(layout, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

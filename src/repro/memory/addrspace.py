@@ -1,0 +1,68 @@
+"""GPU address spaces.
+
+The simulated GPU uses the same address-space split as NVPTX/AMDGCN:
+a flat *generic* space plus dedicated global, shared (per-team),
+constant, and local (per-thread stack) spaces.  The numeric values
+follow the NVPTX convention so IR dumps read familiarly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AddressSpace(enum.IntEnum):
+    """Numbered address spaces, NVPTX-style."""
+
+    GENERIC = 0
+    GLOBAL = 1
+    SHARED = 3
+    CONSTANT = 4
+    LOCAL = 5
+
+    @property
+    def short_name(self) -> str:
+        return _SHORT_NAMES[self]
+
+    @property
+    def is_team_local(self) -> bool:
+        """True if each team sees a private copy of this space."""
+        return self is AddressSpace.SHARED
+
+    @property
+    def is_thread_local(self) -> bool:
+        """True if each thread sees a private copy of this space."""
+        return self is AddressSpace.LOCAL
+
+
+_SHORT_NAMES = {
+    AddressSpace.GENERIC: "generic",
+    AddressSpace.GLOBAL: "global",
+    AddressSpace.SHARED: "shared",
+    AddressSpace.CONSTANT: "constant",
+    AddressSpace.LOCAL: "local",
+}
+
+#: Bit position where the address-space tag lives inside a simulated
+#: 64-bit pointer.  The low 48 bits are the offset within the space.
+ADDRSPACE_SHIFT = 48
+
+#: Mask extracting the in-space offset from a simulated pointer.
+OFFSET_MASK = (1 << ADDRSPACE_SHIFT) - 1
+
+
+def make_pointer(space: AddressSpace, offset: int) -> int:
+    """Encode *space* and *offset* into a simulated 64-bit pointer."""
+    if offset < 0 or offset > OFFSET_MASK:
+        raise ValueError(f"pointer offset out of range: {offset:#x}")
+    return (int(space) << ADDRSPACE_SHIFT) | offset
+
+
+def pointer_space(ptr: int) -> AddressSpace:
+    """Extract the address space of a simulated pointer."""
+    return AddressSpace(ptr >> ADDRSPACE_SHIFT)
+
+
+def pointer_offset(ptr: int) -> int:
+    """Extract the in-space byte offset of a simulated pointer."""
+    return ptr & OFFSET_MASK

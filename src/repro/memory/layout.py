@@ -1,0 +1,105 @@
+"""Data layout: sizes, alignments and field offsets.
+
+Mirrors LLVM's DataLayout for the subset of types the IR supports.
+All pointer values are 8 bytes.  Structs are laid out with natural
+alignment and tail padding, exactly like default C ABI on a 64-bit
+target — the runtime state structures in the paper (team ICV state,
+thread-state array) rely on these offsets, and the field-sensitive
+access analysis bins accesses by the byte offsets computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+)
+
+POINTER_SIZE = 8
+
+
+def _align_to(offset: int, align: int) -> int:
+    return (offset + align - 1) & ~(align - 1)
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """Resolved layout of one struct type."""
+
+    size: int
+    align: int
+    offsets: Tuple[int, ...]
+
+    def field_offset(self, index: int) -> int:
+        return self.offsets[index]
+
+
+class DataLayout:
+    """Computes and caches sizes/alignments/offsets for IR types."""
+
+    def __init__(self) -> None:
+        self._struct_cache: Dict[StructType, StructLayout] = {}
+
+    def size_of(self, ty: Type) -> int:
+        if isinstance(ty, IntType):
+            return max(1, ty.bits // 8)
+        if isinstance(ty, FloatType):
+            return ty.bits // 8
+        if isinstance(ty, PointerType):
+            return POINTER_SIZE
+        if isinstance(ty, ArrayType):
+            return self.size_of(ty.element) * ty.count
+        if isinstance(ty, StructType):
+            return self.struct_layout(ty).size
+        if isinstance(ty, VoidType):
+            raise TypeError("void has no size")
+        raise TypeError(f"unsized type: {ty}")
+
+    def align_of(self, ty: Type) -> int:
+        if isinstance(ty, IntType):
+            return max(1, ty.bits // 8)
+        if isinstance(ty, FloatType):
+            return ty.bits // 8
+        if isinstance(ty, PointerType):
+            return POINTER_SIZE
+        if isinstance(ty, ArrayType):
+            return self.align_of(ty.element)
+        if isinstance(ty, StructType):
+            return self.struct_layout(ty).align
+        raise TypeError(f"unaligned type: {ty}")
+
+    def struct_layout(self, ty: StructType) -> StructLayout:
+        cached = self._struct_cache.get(ty)
+        if cached is not None:
+            return cached
+        offsets: List[int] = []
+        offset = 0
+        align = 1
+        for _, fty in ty.fields:
+            falign = self.align_of(fty)
+            align = max(align, falign)
+            offset = _align_to(offset, falign)
+            offsets.append(offset)
+            offset += self.size_of(fty)
+        size = _align_to(offset, align) if ty.fields else 0
+        layout = StructLayout(size=size, align=align, offsets=tuple(offsets))
+        self._struct_cache[ty] = layout
+        return layout
+
+    def field_offset(self, ty: StructType, name: str) -> int:
+        return self.struct_layout(ty).field_offset(ty.field_index(name))
+
+    def element_offset(self, ty: ArrayType, index: int) -> int:
+        return self.size_of(ty.element) * index
+
+
+#: Process-wide default layout; the IR has a single target.
+DATA_LAYOUT = DataLayout()

@@ -1,0 +1,226 @@
+"""Simulated byte-addressable memory.
+
+The virtual GPU owns one :class:`Segment` per address space instance:
+a single global segment, a single constant segment, one shared segment
+*per team* and one local segment *per thread* — mirroring the hardware
+visibility rules in the paper's Fig. 2.  Pointers are 64-bit integers
+tagged with their address space (see :mod:`repro.memory.addrspace`);
+the same shared-space pointer value resolves to different storage in
+different teams, exactly like a real GPU shared-memory address.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple, Union
+
+from repro.memory.addrspace import (
+    AddressSpace,
+    make_pointer,
+    pointer_offset,
+    pointer_space,
+)
+from repro.ir.types import FloatType, IntType, PointerType, Type
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or otherwise invalid simulated memory access."""
+
+
+def _align_to(offset: int, align: int) -> int:
+    return (offset + align - 1) & ~(align - 1)
+
+
+class Segment:
+    """One zero-initialized, bump-allocated region of simulated memory."""
+
+    def __init__(self, space: AddressSpace, size: int, base: int = 16) -> None:
+        self.space = space
+        self.data = bytearray(size)
+        #: Next free offset.  Starts past a small guard so offset 0 stays
+        #: an invalid (null-like) address.
+        self.brk = base
+        self.high_water = base
+        self.allocations: Dict[int, int] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def allocate(self, size: int, align: int = 8) -> int:
+        """Bump-allocate *size* bytes; returns a tagged pointer."""
+        offset = _align_to(self.brk, max(1, align))
+        if offset + size > len(self.data):
+            raise MemoryError_(
+                f"{self.space.short_name} segment exhausted: "
+                f"need {size}B at {offset:#x}, capacity {len(self.data):#x}"
+            )
+        self.brk = offset + size
+        self.high_water = max(self.high_water, self.brk)
+        self.allocations[offset] = size
+        return make_pointer(self.space, offset)
+
+    def free(self, ptr: int) -> None:
+        """Release an allocation (bookkeeping only; space is not reused)."""
+        offset = pointer_offset(ptr)
+        self.allocations.pop(offset, None)
+
+    def check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > len(self.data):
+            raise MemoryError_(
+                f"access [{offset:#x}, {offset + size:#x}) out of bounds of "
+                f"{self.space.short_name} segment ({len(self.data):#x}B)"
+            )
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        self.check_range(offset, size)
+        return bytes(self.data[offset : offset + size])
+
+    def write_bytes(self, offset: int, payload: bytes) -> None:
+        self.check_range(offset, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+
+_FLOAT_FMT = {32: "<f", 64: "<d"}
+
+
+def encode_scalar(value: Union[int, float], ty: Type) -> bytes:
+    """Encode a register value into its in-memory representation."""
+    if isinstance(ty, IntType):
+        size = max(1, ty.bits // 8)
+        return int(ty.wrap(int(value))).to_bytes(size, "little")
+    if isinstance(ty, FloatType):
+        return struct.pack(_FLOAT_FMT[ty.bits], float(value))
+    if isinstance(ty, PointerType):
+        return int(value).to_bytes(8, "little")
+    raise TypeError(f"cannot encode type {ty}")
+
+
+def decode_scalar(payload: bytes, ty: Type) -> Union[int, float]:
+    """Decode bytes into a register value for type *ty*."""
+    if isinstance(ty, IntType):
+        return int.from_bytes(payload, "little")
+    if isinstance(ty, FloatType):
+        return struct.unpack(_FLOAT_FMT[ty.bits], payload)[0]
+    if isinstance(ty, PointerType):
+        return int.from_bytes(payload, "little")
+    raise TypeError(f"cannot decode type {ty}")
+
+
+def scalar_size(ty: Type) -> int:
+    if isinstance(ty, IntType):
+        return max(1, ty.bits // 8)
+    if isinstance(ty, FloatType):
+        return ty.bits // 8
+    if isinstance(ty, PointerType):
+        return 8
+    raise TypeError(f"not a scalar type: {ty}")
+
+
+class MemorySystem:
+    """Routes tagged pointers to the correct segment for a (team, thread).
+
+    The generic space is a window over the others: generic pointers are
+    produced only by casts in this IR and carry the original tag, so in
+    practice every pointer self-identifies its segment.
+    """
+
+    def __init__(
+        self,
+        global_size: int = 1 << 24,
+        constant_size: int = 1 << 20,
+        shared_size: int = 1 << 16,
+        local_size: int = 1 << 16,
+    ) -> None:
+        self.global_seg = Segment(AddressSpace.GLOBAL, global_size)
+        self.constant_seg = Segment(AddressSpace.CONSTANT, constant_size)
+        self._shared_size = shared_size
+        self._local_size = local_size
+        self.shared_segs: Dict[int, Segment] = {}
+        self.local_segs: Dict[Tuple[int, int], Segment] = {}
+        #: Shared-segment layout template: offsets reserved for shared
+        #: globals are identical across teams, so we allocate layout once
+        #: and instantiate per team.
+        self.shared_brk_template = 16
+
+    # -- segment management -----------------------------------------------------
+
+    def shared_segment(self, team: int) -> Segment:
+        seg = self.shared_segs.get(team)
+        if seg is None:
+            seg = Segment(AddressSpace.SHARED, self._shared_size)
+            seg.brk = self.shared_brk_template
+            seg.high_water = seg.brk
+            self.shared_segs[team] = seg
+        return seg
+
+    def local_segment(self, team: int, thread: int) -> Segment:
+        key = (team, thread)
+        seg = self.local_segs.get(key)
+        if seg is None:
+            seg = Segment(AddressSpace.LOCAL, self._local_size)
+            self.local_segs[key] = seg
+        return seg
+
+    def reserve_shared_layout(self, size: int, align: int = 8) -> int:
+        """Reserve space in every team's shared segment (static shared
+        globals).  Returns the tagged pointer valid in any team."""
+        offset = _align_to(self.shared_brk_template, max(1, align))
+        if offset + size > self._shared_size:
+            raise MemoryError_("static shared memory exhausted")
+        self.shared_brk_template = offset + size
+        for seg in self.shared_segs.values():
+            seg.brk = max(seg.brk, self.shared_brk_template)
+        return make_pointer(AddressSpace.SHARED, offset)
+
+    def _resolve(self, ptr: int, team: int, thread: int) -> Tuple[Segment, int]:
+        space = pointer_space(ptr)
+        offset = pointer_offset(ptr)
+        if offset == 0:
+            raise MemoryError_(f"null {space.short_name} pointer dereference")
+        if space is AddressSpace.GLOBAL or space is AddressSpace.GENERIC:
+            return self.global_seg, offset
+        if space is AddressSpace.CONSTANT:
+            return self.constant_seg, offset
+        if space is AddressSpace.SHARED:
+            return self.shared_segment(team), offset
+        if space is AddressSpace.LOCAL:
+            return self.local_segment(team, thread), offset
+        raise MemoryError_(f"unmapped address space {space}")  # pragma: no cover
+
+    # -- typed access ---------------------------------------------------------------
+
+    def load(self, ptr: int, ty: Type, team: int = 0, thread: int = 0) -> Union[int, float]:
+        seg, offset = self._resolve(ptr, team, thread)
+        size = scalar_size(ty)
+        return decode_scalar(seg.read_bytes(offset, size), ty)
+
+    def store(
+        self, ptr: int, value: Union[int, float], ty: Type, team: int = 0, thread: int = 0
+    ) -> None:
+        seg, offset = self._resolve(ptr, team, thread)
+        seg.write_bytes(offset, encode_scalar(value, ty))
+
+    def read_raw(self, ptr: int, size: int, team: int = 0, thread: int = 0) -> bytes:
+        seg, offset = self._resolve(ptr, team, thread)
+        return seg.read_bytes(offset, size)
+
+    def write_raw(self, ptr: int, payload: bytes, team: int = 0, thread: int = 0) -> None:
+        seg, offset = self._resolve(ptr, team, thread)
+        seg.write_bytes(offset, payload)
+
+    def memset(self, ptr: int, byte: int, size: int, team: int = 0, thread: int = 0) -> None:
+        seg, offset = self._resolve(ptr, team, thread)
+        seg.write_bytes(offset, bytes([byte & 0xFF]) * size)
+
+    def memcpy(self, dst: int, src: int, size: int, team: int = 0, thread: int = 0) -> None:
+        payload = self.read_raw(src, size, team, thread)
+        self.write_raw(dst, payload, team, thread)
+
+    # -- allocation -------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        return self.global_seg.allocate(max(1, size))
+
+    def free(self, ptr: int) -> None:
+        self.global_seg.free(ptr)

@@ -1,0 +1,9 @@
+"""The openmp-opt optimization passes (paper §IV)."""
+
+from repro.passes.pass_manager import (  # noqa: F401
+    PassContext,
+    PassManager,
+    PipelineConfig,
+)
+from repro.passes.pipeline import run_openmp_opt_pipeline  # noqa: F401
+from repro.passes.remarks import Remark, RemarkCollector, RemarkKind  # noqa: F401

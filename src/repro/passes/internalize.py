@@ -1,0 +1,31 @@
+"""Internalization (paper §IV-A1).
+
+The real pass duplicates externally visible functions so kernels call
+internal copies amenable to IPO.  With whole-module compilation we can
+simply internalize every non-kernel definition; an analysis remark is
+emitted for linkage kinds that would prevent it.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.passes.pass_manager import PassContext
+
+
+class InternalizePass:
+    name = "internalize"
+
+    def run(self, module: Module, ctx: PassContext) -> bool:
+        changed = False
+        for func in module.defined_functions():
+            if func.is_kernel:
+                continue
+            if func.linkage == "external":
+                func.linkage = "internal"
+                ctx.remarks.passed(self.name, func.name, "internalized")
+                changed = True
+            elif func.linkage == "weak":
+                ctx.remarks.missed(
+                    self.name, func.name, "cannot internalize weak linkage"
+                )
+        return changed

@@ -1,0 +1,131 @@
+"""Pass manager and pipeline configuration.
+
+``PipelineConfig`` exposes one disable flag per paper optimization so
+the ablation study (Fig. 13 / §V-C) can switch them off one at a time.
+With ``verify_each`` the IR verifier runs after every pass, which is
+how the test suite catches pass bugs early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+from repro.ir.module import Module
+from repro.ir.verifier import VerificationError, verify_module
+from repro.passes.remarks import RemarkCollector
+
+
+@dataclass
+class PipelineConfig:
+    """Optimization pipeline controls (compiler flags)."""
+
+    opt_level: int = 2
+    #: §IV-A3 SPMDzation.
+    enable_spmdization: bool = True
+    #: §IV-A2 globalization elimination (alloc_shared -> alloca).
+    enable_globalization_elim: bool = True
+    #: §IV-B1 field-sensitive access analysis.  Disabling this disables
+    #: the whole §IV-B value propagation, as in the paper's ablation.
+    enable_field_sensitive: bool = True
+    #: §IV-B2 lifetime-aware reachability and dominance reasoning.
+    enable_reach_dom: bool = True
+    #: §IV-B3 assumed memory content.
+    enable_assumed_content: bool = True
+    #: §IV-B4 invariant value propagation.
+    enable_invariant_prop: bool = True
+    #: §IV-C exclusive (main-thread) and aligned execution analysis.
+    enable_aligned_exec: bool = True
+    #: §IV-D aligned barrier elimination.
+    enable_barrier_elim: bool = True
+    #: Generic inlining of the runtime into kernels.
+    enable_inlining: bool = True
+    #: Maximum openmp-opt fixpoint rounds.
+    max_rounds: int = 8
+    #: Run the IR verifier after every pass.
+    verify_each: bool = False
+
+    @property
+    def enable_value_prop(self) -> bool:
+        """§IV-B as a whole is gated on its base analysis (§IV-B1)."""
+        return self.enable_field_sensitive
+
+    @classmethod
+    def o0(cls) -> "PipelineConfig":
+        return cls(
+            opt_level=0,
+            enable_spmdization=False,
+            enable_globalization_elim=False,
+            enable_field_sensitive=False,
+            enable_reach_dom=False,
+            enable_assumed_content=False,
+            enable_invariant_prop=False,
+            enable_aligned_exec=False,
+            enable_barrier_elim=False,
+            enable_inlining=False,
+        )
+
+    @classmethod
+    def nightly(cls) -> "PipelineConfig":
+        """The "(Nightly)" builds of the evaluation: the legacy pass set,
+        and a globalization pass that does not understand the new
+        runtime's shared-stack discipline yet — kernels keep the full
+        pre-allocated stack (the 11.3KB SMem row of Fig. 11)."""
+        cfg = cls.legacy()
+        cfg.enable_globalization_elim = False
+        return cfg
+
+    @classmethod
+    def legacy(cls) -> "PipelineConfig":
+        """The pre-co-design pipeline: only the §IV-A optimizations
+        (internalization, globalization handling, SPMDzation) exist."""
+        return cls(
+            enable_field_sensitive=False,
+            enable_reach_dom=False,
+            enable_assumed_content=False,
+            enable_invariant_prop=False,
+            enable_aligned_exec=False,
+            enable_barrier_elim=False,
+        )
+
+
+class Pass(Protocol):
+    """A module transformation.  Returns True if it changed the IR."""
+
+    name: str
+
+    def run(self, module: Module, ctx: "PassContext") -> bool: ...
+
+
+@dataclass
+class PassContext:
+    """Shared state threaded through a pipeline run."""
+
+    config: PipelineConfig
+    remarks: RemarkCollector = field(default_factory=RemarkCollector)
+    #: Names of runtime API functions (never internal-DCE'd prematurely).
+    runtime_api: frozenset = frozenset()
+
+
+class PassManager:
+    """Runs a list of passes over a module, optionally verifying each."""
+
+    def __init__(self, passes: List[Pass], ctx: PassContext) -> None:
+        self.passes = passes
+        self.ctx = ctx
+        self.run_log: List[str] = []
+
+    def run(self, module: Module) -> bool:
+        changed_any = False
+        for p in self.passes:
+            changed = p.run(module, self.ctx)
+            self.run_log.append(f"{p.name}: {'changed' if changed else 'no-op'}")
+            changed_any |= changed
+            if self.ctx.config.verify_each:
+                try:
+                    verify_module(module)
+                except VerificationError as exc:
+                    raise VerificationError(
+                        [f"after pass {p.name}:"] + exc.errors
+                    ) from exc
+        return changed_any

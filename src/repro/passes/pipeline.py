@@ -1,0 +1,101 @@
+"""The openmp-opt pipeline (paper §IV).
+
+Assembles the passes in the order the LLVM pipeline applies them and
+iterates the interplay rounds: value propagation exposes dead branches,
+cleanup removes them, which kills state stores, which unlocks further
+propagation — until nothing changes (the Attributor-style fixpoint).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.module import Module
+from repro.passes.barrier_elim import BarrierEliminationPass
+from repro.passes.cleanup import CleanupPass
+from repro.passes.globalization import GlobalizationEliminationPass
+from repro.passes.gvn import GVNPass, LICMPass
+from repro.passes.inline import InlinePass
+from repro.passes.mem2reg import PromoteAllocasPass
+from repro.passes.internalize import InternalizePass
+from repro.passes.pass_manager import PassContext, PassManager, PipelineConfig
+from repro.passes.remarks import RemarkCollector
+from repro.passes.spmdization import SPMDizationPass
+from repro.passes.strip_assumes import StripAssumesPass
+from repro.passes.value_prop import DeadStateStoreElimination, ValuePropagationPass
+
+
+def run_openmp_opt_pipeline(
+    module: Module,
+    config: Optional[PipelineConfig] = None,
+    remarks: Optional[RemarkCollector] = None,
+) -> PassContext:
+    """Optimize *module* in place; returns the context with remarks."""
+    if config is None:
+        config = PipelineConfig()
+    # Note: an empty RemarkCollector is falsy (it has __len__), so the
+    # identity check matters here.
+    if remarks is None:
+        remarks = RemarkCollector()
+    ctx = PassContext(config=config, remarks=remarks)
+    if config.opt_level == 0:
+        return ctx
+
+    # Phase 1: whole-module preparation (pre-inlining pattern matching).
+    prep = PassManager(
+        [InternalizePass(), CleanupPass(), SPMDizationPass(), GlobalizationEliminationPass()],
+        ctx,
+    )
+    prep.run(module)
+
+    # Phase 2: pull the runtime into the kernels, then run the generic
+    # scalar pipeline LLVM provides around openmp-opt.
+    PassManager(
+        [InlinePass(), CleanupPass(), PromoteAllocasPass(), CleanupPass(),
+         GVNPass(), LICMPass(), CleanupPass()],
+        ctx,
+    ).run(module)
+
+    # A second globalization chance: SPMDized kernels whose allocations
+    # only became demotable after inlining-driven folding.
+    PassManager([GlobalizationEliminationPass(), CleanupPass()], ctx).run(module)
+
+    # Phase 3: the openmp-opt fixpoint rounds.
+    round_passes = [
+        ValuePropagationPass(),
+        CleanupPass(),
+        DeadStateStoreElimination(),
+        CleanupPass(),
+        InlinePass(),
+        PromoteAllocasPass(),
+        GVNPass(),
+        LICMPass(),
+        CleanupPass(),
+    ]
+    for _ in range(max(1, config.max_rounds)):
+        pm = PassManager(round_passes, ctx)
+        if not pm.run(module):
+            break
+
+    # Phase 4: strip optimizer-only artifacts, then sweep the state they
+    # kept alive.  The assume anchors were the last loads of the runtime
+    # state; once they are gone, dead-store elimination can finally drop
+    # the broadcast writes, the state globals, and with them the barriers
+    # that published them.
+    PassManager(
+        [BarrierEliminationPass(), CleanupPass(), StripAssumesPass(), CleanupPass()],
+        ctx,
+    ).run(module)
+    for _ in range(max(1, config.max_rounds)):
+        pm = PassManager(
+            [
+                DeadStateStoreElimination(),
+                CleanupPass(),
+                BarrierEliminationPass(),
+                CleanupPass(),
+            ],
+            ctx,
+        )
+        if not pm.run(module):
+            break
+    return ctx

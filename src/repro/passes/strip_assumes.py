@@ -1,0 +1,32 @@
+"""Final lowering: drop ``llvm.assume`` calls from the binary.
+
+Assumptions exist for the optimizer only; the backend discards them
+(LLVM does the same late in its pipeline).  Their operand computations
+— typically the anchor loads of the assumed-memory-content facts —
+become dead and are swept by the subsequent cleanup.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+from repro.passes.pass_manager import PassContext
+
+
+class StripAssumesPass:
+    name = "strip-assumes"
+
+    def run(self, module: Module, ctx: PassContext) -> bool:
+        changed = False
+        for func in module.defined_functions():
+            for inst in list(func.instructions()):
+                if (
+                    isinstance(inst, Call)
+                    and inst.parent is not None
+                    and inst.callee is not None
+                    and inst.callee.name == "llvm.assume"
+                    and not inst.uses
+                ):
+                    inst.erase_from_parent()
+                    changed = True
+        return changed

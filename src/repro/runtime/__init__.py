@@ -1,0 +1,9 @@
+"""OpenMP GPU device runtimes (new co-designed + legacy baseline)."""
+
+from repro.runtime.config import (  # noqa: F401
+    DEBUG_ASSERTIONS,
+    DEBUG_FUNCTION_TRACING,
+    RuntimeConfig,
+)
+from repro.runtime.icv import ICV_DEFAULTS, ICV_STATE, icv_offset, icv_state_size  # noqa: F401
+from repro.runtime.state import TEAM_STATE, team_state_offset, team_state_size  # noqa: F401

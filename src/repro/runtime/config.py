@@ -1,0 +1,54 @@
+"""Device runtime configuration.
+
+``RuntimeConfig`` captures everything the *compiler* bakes into the
+runtime when it emits the device image: the debug bit-field (§III-G),
+the user over-subscription assumptions (§III-F) and the sizing of the
+pre-allocated shared structures.  These become ``constant`` globals in
+the module, which is precisely how the paper lets "the runtime read
+compiler flags at compile time via constant propagation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Debug bit-field values (paper §III-G).
+DEBUG_ASSERTIONS = 1 << 0
+DEBUG_FUNCTION_TRACING = 1 << 1
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Compile-time parameters of the device runtime build."""
+
+    #: Upper bound on threads per team the runtime supports; sizes the
+    #: thread-state pointer array and the shared-stack slices.
+    max_threads: int = 128
+    #: Size of the pre-allocated shared-memory stack (§III-D).
+    smem_stack_size: int = 10240
+    #: Compile-time debug feature mask; 0 in release builds means every
+    #: debug path is statically dead and removable.
+    debug_kind: int = 0
+    #: -fopenmp-assume-teams-oversubscription
+    assume_teams_oversubscription: bool = False
+    #: -fopenmp-assume-threads-oversubscription
+    assume_threads_oversubscription: bool = False
+    #: Broadcast write scheme (paper Fig. 7): "conditional-pointer"
+    #: (Fig. 7b, the co-design choice) or "guarded" (Fig. 7a).
+    broadcast_scheme: str = "conditional-pointer"
+    #: Emit compiler-visible *aligned* barriers in the runtime (§IV-D).
+    #: With False every barrier is a generic one and barrier elimination
+    #: has nothing to work with — a design-choice ablation.
+    use_aligned_barriers: bool = True
+    #: Serve globalization directly from global-memory malloc instead of
+    #: the pre-allocated shared stack (§III-D design-choice ablation).
+    globalization_via_malloc: bool = False
+
+    @property
+    def debug_enabled(self) -> bool:
+        return self.debug_kind != 0
+
+    @property
+    def stack_slice_size(self) -> int:
+        """Per-thread slice of the shared stack."""
+        return self.smem_stack_size // self.max_threads

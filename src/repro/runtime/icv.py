@@ -1,0 +1,47 @@
+"""Internal control variables (ICVs) and their state layout.
+
+The ICV state struct mirrors the paper's Fig. 3: one team-wide copy
+lives in static shared memory, and threads that modify their data
+environment get on-demand private copies via the shared-memory stack
+(§III-C).  The field list follows the LLVM deviceRTL ``ICVStateTy``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.memory.layout import DATA_LAYOUT
+from repro.ir.types import I32, StructType
+
+#: Field order matters: offsets are ABI for the field-sensitive access
+#: analysis tests.
+ICV_STATE = StructType(
+    "ICVState",
+    (
+        ("nthreads_var", I32),
+        ("levels_var", I32),
+        ("active_levels_var", I32),
+        ("max_active_levels_var", I32),
+        ("run_sched_var", I32),
+        ("run_sched_chunk_var", I32),
+    ),
+)
+
+#: Default values installed by ``__kmpc_target_init``.
+ICV_DEFAULTS: Dict[str, int] = {
+    "nthreads_var": 0,  # 0 = use the launch configuration
+    "levels_var": 0,
+    "active_levels_var": 0,
+    "max_active_levels_var": 1,
+    "run_sched_var": 1,  # static
+    "run_sched_chunk_var": 1,
+}
+
+
+def icv_offset(field: str) -> int:
+    """Byte offset of an ICV within the state struct."""
+    return DATA_LAYOUT.field_offset(ICV_STATE, field)
+
+
+def icv_state_size() -> int:
+    return DATA_LAYOUT.size_of(ICV_STATE)

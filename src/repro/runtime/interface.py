@@ -1,0 +1,86 @@
+"""Uniform interface over the two runtime flavours.
+
+The frontend lowers against logical entry points; this table maps them
+to the concrete function names of the selected runtime and knows how to
+populate that runtime into a module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.module import Module
+from repro.runtime.config import RuntimeConfig
+
+
+@dataclass(frozen=True)
+class RuntimeInterface:
+    """Entry-point names of one device runtime flavour."""
+
+    name: str
+    target_init: str
+    target_deinit: str
+    parallel: str
+    distribute_parallel_for: str
+    for_static: str
+    distribute_static: str
+    alloc_shared: str
+    free_shared: str
+    barrier: str
+    get_thread_num: str
+    get_num_threads: str
+    get_team_num: str
+    get_num_teams: str
+    populate: Callable[[Module, RuntimeConfig], object]
+
+
+def _populate_new(module: Module, config: RuntimeConfig):
+    from repro.runtime.libnew import populate_new_runtime
+
+    return populate_new_runtime(module, config)
+
+
+def _populate_old(module: Module, config: RuntimeConfig):
+    from repro.runtime.libold import populate_old_runtime
+
+    return populate_old_runtime(module, config)
+
+
+NEW_RUNTIME = RuntimeInterface(
+    name="new",
+    target_init="__kmpc_target_init",
+    target_deinit="__kmpc_target_deinit",
+    parallel="__kmpc_parallel_51",
+    distribute_parallel_for="__kmpc_distribute_parallel_for",
+    for_static="__kmpc_for_static_loop",
+    distribute_static="__kmpc_distribute_static_loop",
+    alloc_shared="__kmpc_alloc_shared",
+    free_shared="__kmpc_free_shared",
+    barrier="__kmpc_barrier",
+    get_thread_num="omp_get_thread_num",
+    get_num_threads="omp_get_num_threads",
+    get_team_num="omp_get_team_num",
+    get_num_teams="omp_get_num_teams",
+    populate=_populate_new,
+)
+
+OLD_RUNTIME = RuntimeInterface(
+    name="old",
+    target_init="__kmpc_target_init_old",
+    target_deinit="__kmpc_target_deinit_old",
+    parallel="__kmpc_parallel_old",
+    distribute_parallel_for="__kmpc_distribute_parallel_for_old",
+    for_static="__kmpc_for_static_old",
+    distribute_static="__kmpc_distribute_static_old",
+    alloc_shared="__kmpc_alloc_shared_old",
+    free_shared="__kmpc_free_shared_old",
+    barrier="__kmpc_barrier_old",
+    get_thread_num="omp_get_thread_num_old",
+    get_num_threads="omp_get_num_threads_old",
+    get_team_num="omp_get_team_num_old",
+    get_num_teams="omp_get_num_teams_old",
+    populate=_populate_old,
+)
+
+RUNTIMES = {"new": NEW_RUNTIME, "old": OLD_RUNTIME}

@@ -1,0 +1,4 @@
+"""The new OpenMP GPU device runtime (paper §III) as an IR library."""
+
+from repro.runtime.libnew.builder import NEW_RUNTIME_API, populate_new_runtime  # noqa: F401
+from repro.runtime.libnew.globals import NewRTGlobals  # noqa: F401

@@ -1,0 +1,65 @@
+"""Assembles the new device runtime into an application module.
+
+Definition order matters only in that callees must exist before the
+functions that call them are built.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.runtime.common import RuntimeBuilder
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.libnew.globals import NewRTGlobals, create_new_rt_globals
+from repro.runtime.libnew.icv import (
+    build_icv_accessors,
+    build_lookup_icv_state,
+    build_push_pop_thread_state,
+)
+from repro.runtime.libnew.init import build_target_deinit, build_target_init
+from repro.runtime.libnew.memory import build_alloc_shared, build_free_shared
+from repro.runtime.libnew.parallel import build_parallel_51
+from repro.runtime.libnew.queries import build_queries, build_sync
+from repro.runtime.libnew.worksharing import build_worksharing
+
+#: Function names this runtime provides (the "bitcode library" surface).
+NEW_RUNTIME_API = (
+    "__kmpc_target_init",
+    "__kmpc_target_deinit",
+    "__kmpc_parallel_51",
+    "__kmpc_distribute_parallel_for",
+    "__kmpc_for_static_loop",
+    "__kmpc_distribute_static_loop",
+    "__kmpc_alloc_shared",
+    "__kmpc_free_shared",
+    "__kmpc_barrier",
+    "__kmpc_barrier_simple_spmd",
+    "omp_get_thread_num",
+    "omp_get_num_threads",
+    "omp_get_team_num",
+    "omp_get_num_teams",
+    "omp_get_level",
+    "omp_get_max_threads",
+    "omp_is_spmd_mode",
+)
+
+
+def populate_new_runtime(module: Module, config: RuntimeConfig) -> NewRTGlobals:
+    """Build the new runtime's globals and functions inside *module*.
+
+    Returns the global handles so tests can poke at the state layout.
+    """
+    rb = RuntimeBuilder(module, config)
+    gvs = create_new_rt_globals(rb)
+
+    build_alloc_shared(rb, gvs)
+    build_free_shared(rb, gvs)
+    build_lookup_icv_state(rb, gvs)
+    build_icv_accessors(rb, gvs)
+    build_push_pop_thread_state(rb, gvs)
+    build_target_init(rb, gvs)
+    build_target_deinit(rb, gvs)
+    build_parallel_51(rb, gvs)
+    build_worksharing(rb, gvs)
+    build_queries(rb, gvs)
+    build_sync(rb, gvs)
+    return gvs

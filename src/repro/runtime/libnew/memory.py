@@ -1,0 +1,88 @@
+"""Shared-memory stack of the new runtime (paper §III-D).
+
+``__kmpc_alloc_shared`` serves team-shareable allocations from a
+pre-allocated shared buffer, split into per-thread LIFO slices, and
+falls back to global ``malloc`` when a slice is full.  Both
+globalization (§IV-A2) and on-demand thread ICV states (§III-C) are
+its clients; when the optimizer eliminates every client the stack
+globals become unreferenced and are pruned, zeroing the kernel's
+shared-memory footprint (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from repro.ir.types import I32, I64, PTR, PTR_GLOBAL, VOID
+from repro.runtime.common import RuntimeBuilder
+from repro.runtime.libnew.globals import NewRTGlobals
+
+
+def build_alloc_shared(rb: RuntimeBuilder, gvs: NewRTGlobals) -> None:
+    config = rb.config
+    func, b = rb.define("__kmpc_alloc_shared", PTR, [I64], ["size"])
+    size = func.args[0]
+    rb.emit_trace(b, "__kmpc_alloc_shared")
+    if config.globalization_via_malloc:
+        # Design-choice ablation (§III-D): no shared stack at all; every
+        # globalized allocation pays a global-memory round trip.
+        gptr = b.intrinsic("malloc", [size], "alloc.global")
+        b.ret(b.cast("bitcast", gptr, PTR))
+        return
+    tid = b.thread_id()
+    top_addr = b.array_gep(gvs.smem_stack_tops, I32, tid, "top.addr")
+    top = b.load(I32, top_addr, "top")
+    size32 = b.trunc(size, I32)
+    new_top = b.add(top, size32, "top.new")
+    slice_size = b.i32(config.stack_slice_size)
+    fits = b.icmp("sle", new_top, slice_size, "fits")
+
+    shared_path = func.add_block("stack")
+    global_path = func.add_block("fallback")
+    b.cond_br(fits, shared_path, global_path)
+
+    b.set_insert_point(shared_path)
+    slice_base = b.mul(tid, slice_size, "slice.base")
+    offset = b.add(slice_base, top, "alloc.off")
+    ptr = b.ptradd(gvs.smem_stack, b.sext(offset, I64), "alloc.ptr")
+    b.store(new_top, top_addr)
+    b.ret(b.cast("bitcast", ptr, PTR))
+
+    b.set_insert_point(global_path)
+    gptr = b.intrinsic("malloc", [size], "alloc.global")
+    b.ret(b.cast("bitcast", gptr, PTR))
+
+
+def build_free_shared(rb: RuntimeBuilder, gvs: NewRTGlobals) -> None:
+    config = rb.config
+    func, b = rb.define("__kmpc_free_shared", VOID, [PTR, I64], ["ptr", "size"])
+    ptr, size = func.args
+    rb.emit_trace(b, "__kmpc_free_shared")
+    if config.globalization_via_malloc:
+        b.intrinsic("free", [b.cast("bitcast", ptr, PTR_GLOBAL)])
+        b.ret()
+        return
+    p = b.cast("ptrtoint", ptr, I64, "p")
+    lo = b.cast("ptrtoint", gvs.smem_stack, I64, "stack.lo")
+    hi = b.add(lo, b.i64(config.smem_stack_size), "stack.hi")
+    ge = b.icmp("uge", p, lo)
+    lt = b.icmp("ult", p, hi)
+    in_range = b.and_(ge, lt, "in.stack")
+
+    pop_path = func.add_block("pop")
+    free_path = func.add_block("free")
+    done = func.add_block("done")
+    b.cond_br(in_range, pop_path, free_path)
+
+    b.set_insert_point(pop_path)
+    tid = b.thread_id()
+    top_addr = b.array_gep(gvs.smem_stack_tops, I32, tid, "top.addr")
+    top = b.load(I32, top_addr, "top")
+    size32 = b.trunc(size, I32)
+    b.store(b.sub(top, size32), top_addr)
+    b.br(done)
+
+    b.set_insert_point(free_path)
+    b.intrinsic("free", [b.cast("bitcast", ptr, PTR_GLOBAL)])
+    b.br(done)
+
+    b.set_insert_point(done)
+    b.ret()

@@ -1,0 +1,99 @@
+"""``__kmpc_parallel_51`` — the parallel-region entry point.
+
+Three execution paths (paper §III-B/C and Fig. 3/4):
+
+* *nested* (``levels_var > 0``): the encountering thread serializes the
+  region alone inside a fresh data environment, which requires an
+  on-demand thread ICV state — this is the pattern that is "strongly
+  discouraged" because it blocks state elimination;
+* *SPMD top-level*: all threads are already active; thread 0 bumps the
+  team ``levels_var`` through a conditional-pointer write, aligned
+  barriers publish the state around the region body, and assumptions
+  pin the published values;
+* *generic top-level*: only the main thread executes here; it
+  publishes the outlined function to the state machine, wakes the
+  workers, participates itself, and joins.
+"""
+
+from __future__ import annotations
+
+from repro.ir.types import I32, I64, PTR, VOID
+from repro.runtime.common import RuntimeBuilder
+from repro.runtime.libnew.globals import NewRTGlobals
+
+
+def build_parallel_51(rb: RuntimeBuilder, gvs: NewRTGlobals) -> None:
+    module = rb.module
+    lookup = module.get_function("__omp_lookup_icv_state")
+    push = module.get_function("__omp_push_thread_state")
+    pop = module.get_function("__omp_pop_thread_state")
+
+    func, b = rb.define("__kmpc_parallel_51", VOID, [PTR, PTR], ["fn", "args"])
+    fn, args = func.args
+    rb.emit_trace(b, "__kmpc_parallel_51")
+
+    state = b.call(lookup, [], "icv.state")
+    levels_addr = b.ptradd(state, gvs.off_levels, "levels.addr")
+    levels = b.load(I32, levels_addr, "levels")
+    nested = b.icmp("sgt", levels, b.i32(0), "nested")
+
+    nested_block = func.add_block("nested")
+    top_block = func.add_block("top")
+    b.cond_br(nested, nested_block, top_block)
+
+    # ---- nested: serialized region with a private data environment -----------
+    b.set_insert_point(nested_block)
+    b.call(push, [])
+    new_state = b.call(lookup, [], "icv.state.nested")
+    new_levels_addr = b.ptradd(new_state, gvs.off_levels, "levels.addr.nested")
+    b.store(b.add(levels, b.i32(1)), new_levels_addr)
+    b.call_indirect(fn, [b.i32(0), args], VOID)
+    b.call(pop, [])
+    b.ret()
+
+    # ---- top level: dispatch on execution mode ---------------------------------
+    b.set_insert_point(top_block)
+    spmd = b.load(I32, gvs.is_spmd_mode, "spmd")
+    spmd_block = func.add_block("spmd")
+    generic_block = func.add_block("generic")
+    b.cond_br(b.icmp("ne", spmd, b.i32(0)), spmd_block, generic_block)
+
+    # ---- SPMD -----------------------------------------------------------------
+    b.set_insert_point(spmd_block)
+    tid = b.thread_id()
+    is_zero = b.icmp("eq", tid, b.i32(0), "is.tid0")
+    team_levels = b.ptradd(gvs.team_state, gvs.off_levels, "team.levels")
+    # Entry barrier *before* the state update: threads may still be
+    # reading the pre-region state (e.g. the post-init assumptions).
+    rb.emit_team_barrier(b)
+    rb.emit_conditional_write(b, team_levels, b.i32(1), is_zero)
+    rb.emit_team_barrier(b)
+    in_region = b.load(I32, team_levels, "levels.in")
+    rb.emit_assert(b, b.icmp("eq", in_region, b.i32(1)), "levels_var is 1 in parallel")
+    b.call_indirect(fn, [tid, args], VOID)
+    rb.emit_team_barrier(b)
+    rb.emit_conditional_write(b, team_levels, b.i32(0), is_zero)
+    rb.emit_team_barrier(b)
+    after_region = b.load(I32, team_levels, "levels.out")
+    rb.emit_assert(b, b.icmp("eq", after_region, b.i32(0)), "levels_var is 0 after parallel")
+    b.ret()
+
+    # ---- generic: main thread drives the state machine ---------------------------
+    b.set_insert_point(generic_block)
+    team = gvs.team_state
+    fn_addr = b.ptradd(team, gvs.off_parallel_region_fn, "fn.addr")
+    args_addr = b.ptradd(team, gvs.off_parallel_args, "args.addr")
+    size_addr = b.ptradd(team, gvs.off_parallel_team_size, "size.addr")
+    levels_team = b.ptradd(team, gvs.off_levels, "levels.addr.team")
+    bdim = b.block_dim()
+    b.store(b.cast("ptrtoint", fn, I64), fn_addr)
+    b.store(b.cast("ptrtoint", args, I64), args_addr)
+    b.store(bdim, size_addr)
+    b.store(b.i32(1), levels_team)
+    b.barrier()  # wake the workers
+    main_tid = b.sub(bdim, b.i32(1), "main.tid")
+    b.call_indirect(fn, [main_tid, args], VOID)
+    b.barrier()  # join
+    b.store(b.i64(0), fn_addr)
+    b.store(b.i32(0), levels_team)
+    b.ret()

@@ -1,0 +1,75 @@
+"""OpenMP query API (``omp_get_*``) over the runtime state.
+
+Every query routes through the thread-state lookup so that, once the
+optimizer proves no thread ICV state is ever created, the whole chain
+folds down to a hardware register read or a literal constant — that is
+the "near-zero overhead" headline mechanism of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.ir.types import I32, VOID
+from repro.runtime.common import RuntimeBuilder
+from repro.runtime.libnew.globals import NewRTGlobals
+
+
+def build_queries(rb: RuntimeBuilder, gvs: NewRTGlobals) -> None:
+    module = rb.module
+    lookup = module.get_function("__omp_lookup_icv_state")
+
+    # omp_get_thread_num: 0 in sequential context, hardware tid inside a
+    # top-level parallel region (identity mapping).
+    func, b = rb.define("omp_get_thread_num", I32, [], [])
+    state = b.call(lookup, [], "state")
+    levels = b.load(I32, b.ptradd(state, gvs.off_levels), "levels")
+    seq = b.icmp("eq", levels, b.i32(0), "seq")
+    tid = b.thread_id()
+    b.ret(b.select(seq, b.i32(0), tid, "omp.tid"))
+
+    # omp_get_num_threads: 1 sequentially and in serialized nested
+    # regions, the parallel team size at level 1.
+    func, b = rb.define("omp_get_num_threads", I32, [], [])
+    state = b.call(lookup, [], "state")
+    levels = b.load(I32, b.ptradd(state, gvs.off_levels), "levels")
+    size_addr = b.ptradd(gvs.team_state, gvs.off_parallel_team_size)
+    team_size = b.load(I32, size_addr, "team.size")
+    at_top = b.icmp("eq", levels, b.i32(1), "at.top")
+    inner = b.select(at_top, team_size, b.i32(1), "nt.inner")
+    seq = b.icmp("eq", levels, b.i32(0), "seq")
+    b.ret(b.select(seq, b.i32(1), inner, "omp.nthreads"))
+
+    func, b = rb.define("omp_get_team_num", I32, [], [])
+    b.ret(b.block_id())
+
+    func, b = rb.define("omp_get_num_teams", I32, [], [])
+    b.ret(b.grid_dim())
+
+    func, b = rb.define("omp_get_level", I32, [], [])
+    state = b.call(lookup, [], "state")
+    b.ret(b.load(I32, b.ptradd(state, gvs.off_levels), "levels"))
+
+    func, b = rb.define("omp_get_max_threads", I32, [], [])
+    b.ret(b.block_dim())
+
+    func, b = rb.define("omp_is_spmd_mode", I32, [], [])
+    b.ret(b.load(I32, gvs.is_spmd_mode, "spmd"))
+
+
+def build_sync(rb: RuntimeBuilder, gvs: NewRTGlobals) -> None:
+    """Barrier entry points.
+
+    ``__kmpc_barrier_simple_spmd`` is the aligned barrier the compiler
+    emits when it knows all threads reach the same program point; its
+    assumptions mirror the paper's Fig. 6 ``omp assumes`` annotations.
+    """
+    func, b = rb.define("__kmpc_barrier_simple_spmd", VOID, [], [])
+    if rb.config.use_aligned_barriers:
+        func.assumptions.add("ext_aligned_barrier")
+    func.assumptions.add("ext_no_call_asm")
+    rb.emit_team_barrier(b)
+    b.ret()
+
+    func, b = rb.define("__kmpc_barrier", VOID, [], [])
+    func.assumptions.add("ext_no_call_asm")
+    b.barrier()
+    b.ret()

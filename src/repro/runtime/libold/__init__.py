@@ -1,0 +1,7 @@
+"""The legacy device runtime baseline ("Old RT" in the evaluation)."""
+
+from repro.runtime.libold.builder import (  # noqa: F401
+    OLD_RUNTIME_API,
+    OldRTGlobals,
+    populate_old_runtime,
+)

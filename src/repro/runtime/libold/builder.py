@@ -1,0 +1,405 @@
+"""The legacy ("old") device runtime — the paper's baseline.
+
+Models the pre-co-design LLVM deviceRTL as the paper characterizes it:
+
+* guarded conditional writes (Fig. 7a) instead of conditional pointers,
+  so state writes never dominate the broadcasting barrier;
+* *unaligned* barriers everywhere — the barrier-elimination pass
+  (§IV-D) must leave them alone;
+* eagerly initialized per-warp ICV records in shared memory, so the
+  thread-state area is never all-zero and the field-sensitive zero
+  deduction (§IV-B1) cannot apply;
+* split, chunked worksharing with a barrier-bracketed dispatch per
+  chunk instead of the combined ``noChunkImpl``;
+* a single team-wide data-sharing stack, no assumption globals, no
+  debug machinery.
+
+Shared footprint: a 272B team context plus a 2048B data stack — the
+~2.3KB the paper's Fig. 11 reports for "Old RT (Nightly)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, I8, I32, I64, PTR, PTR_GLOBAL, VOID
+from repro.ir.values import GlobalVariable, Value
+from repro.runtime.common import RuntimeBuilder
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.state import (
+    GV_OLD_DATA_STACK,
+    GV_OLD_TEAM_CONTEXT,
+    OLD_DATA_STACK_SIZE,
+    OLD_TEAM_CONTEXT_SIZE,
+)
+
+# Byte offsets within the old team context blob.
+OFF_EXEC_MODE = 0
+OFF_LEVELS = 4
+OFF_TEAM_SIZE = 8
+OFF_DONE = 12
+OFF_PARALLEL_FN = 16
+OFF_PARALLEL_ARGS = 24
+OFF_STACK_TOP = 32
+OFF_WARP_RECORDS = 40
+WARP_RECORD_SIZE = 8
+
+#: Function names the old runtime provides.
+OLD_RUNTIME_API = (
+    "__kmpc_target_init_old",
+    "__kmpc_target_deinit_old",
+    "__kmpc_parallel_old",
+    "__kmpc_distribute_parallel_for_old",
+    "__kmpc_for_static_old",
+    "__kmpc_distribute_static_old",
+    "__kmpc_alloc_shared_old",
+    "__kmpc_free_shared_old",
+    "__kmpc_barrier_old",
+    "omp_get_thread_num_old",
+    "omp_get_num_threads_old",
+    "omp_get_team_num_old",
+    "omp_get_num_teams_old",
+    "omp_get_level_old",
+)
+
+
+@dataclass
+class OldRTGlobals:
+    context: GlobalVariable
+    data_stack: GlobalVariable
+
+
+def _guarded_write_i32(
+    b: IRBuilder, base: GlobalVariable, offset: int, value: Value, cond: Value
+) -> None:
+    """Fig. 7a: conditionally *executed* write (branchy broadcast)."""
+    func = b.function
+    write_block = func.add_block("gw.write", after=b.block)
+    cont_block = func.add_block("gw.cont", after=write_block)
+    b.cond_br(cond, write_block, cont_block)
+    b.set_insert_point(write_block)
+    b.store(value, b.ptradd(base, offset))
+    b.br(cont_block)
+    b.set_insert_point(cont_block)
+
+
+def _warp_record_addr(b: IRBuilder, ctx: GlobalVariable) -> Value:
+    tid = b.thread_id()
+    warp = b.udiv(tid, b.i32(32), "warp")
+    off = b.add(b.i32(OFF_WARP_RECORDS), b.mul(warp, b.i32(WARP_RECORD_SIZE)))
+    return b.ptradd(ctx, b.sext(off, I64), "warp.rec")
+
+
+def populate_old_runtime(module: Module, config: RuntimeConfig) -> OldRTGlobals:
+    rb = RuntimeBuilder(module, config)
+    ctx = rb.shared_global(GV_OLD_TEAM_CONTEXT, ArrayType(I8, OLD_TEAM_CONTEXT_SIZE))
+    stack = rb.shared_global(GV_OLD_DATA_STACK, ArrayType(I8, OLD_DATA_STACK_SIZE))
+    gvs = OldRTGlobals(context=ctx, data_stack=stack)
+
+    _build_alloc(rb, gvs)
+    _build_init_deinit(rb, gvs)
+    _build_parallel(rb, gvs)
+    _build_worksharing(rb, gvs)
+    _build_queries(rb, gvs)
+    return gvs
+
+
+# ------------------------------------------------------------------ allocation --
+
+
+def _build_alloc(rb: RuntimeBuilder, gvs: OldRTGlobals) -> None:
+    ctx, stack = gvs.context, gvs.data_stack
+
+    func, b = rb.define("__kmpc_alloc_shared_old", PTR, [I64], ["size"])
+    size = func.args[0]
+    top_addr = b.ptradd(ctx, OFF_STACK_TOP, "top.addr")
+    top = b.load(I32, top_addr, "top")
+    new_top = b.add(top, b.trunc(size, I32), "top.new")
+    fits = b.icmp("sle", new_top, b.i32(OLD_DATA_STACK_SIZE), "fits")
+    stack_block = func.add_block("stack")
+    fallback = func.add_block("fallback")
+    b.cond_br(fits, stack_block, fallback)
+
+    b.set_insert_point(stack_block)
+    ptr = b.ptradd(stack, b.sext(top, I64), "alloc.ptr")
+    b.store(new_top, top_addr)
+    b.ret(b.cast("bitcast", ptr, PTR))
+
+    b.set_insert_point(fallback)
+    gptr = b.intrinsic("malloc", [size], "alloc.global")
+    b.ret(b.cast("bitcast", gptr, PTR))
+
+    func, b = rb.define("__kmpc_free_shared_old", VOID, [PTR, I64], ["ptr", "size"])
+    ptr, size = func.args
+    p = b.cast("ptrtoint", ptr, I64)
+    lo = b.cast("ptrtoint", stack, I64)
+    hi = b.add(lo, b.i64(OLD_DATA_STACK_SIZE))
+    in_range = b.and_(b.icmp("uge", p, lo), b.icmp("ult", p, hi), "in.stack")
+    pop_block = func.add_block("pop")
+    free_block = func.add_block("free")
+    done = func.add_block("done")
+    b.cond_br(in_range, pop_block, free_block)
+    b.set_insert_point(pop_block)
+    top_addr = b.ptradd(ctx, OFF_STACK_TOP, "top.addr")
+    top = b.load(I32, top_addr, "top")
+    b.store(b.sub(top, b.trunc(size, I32)), top_addr)
+    b.br(done)
+    b.set_insert_point(free_block)
+    b.intrinsic("free", [b.cast("bitcast", ptr, PTR_GLOBAL)])
+    b.br(done)
+    b.set_insert_point(done)
+    b.ret()
+
+
+# ------------------------------------------------------------------ init/deinit --
+
+
+def _build_init_deinit(rb: RuntimeBuilder, gvs: OldRTGlobals) -> None:
+    ctx = gvs.context
+
+    func, b = rb.define("__kmpc_target_init_old", I32, [I32], ["is_spmd"])
+    is_spmd = func.args[0]
+    tid = b.thread_id()
+    bdim = b.block_dim()
+    main_id = b.sub(bdim, b.i32(1), "main.id")
+    is_main = b.icmp("eq", tid, main_id, "is.main")
+
+    # Guarded (Fig. 7a) broadcast of the team context header.
+    _guarded_write_i32(b, ctx, OFF_EXEC_MODE, is_spmd, is_main)
+    _guarded_write_i32(b, ctx, OFF_LEVELS, b.i32(0), is_main)
+    _guarded_write_i32(b, ctx, OFF_TEAM_SIZE, bdim, is_main)
+    _guarded_write_i32(b, ctx, OFF_DONE, b.i32(0), is_main)
+    _guarded_write_i32(b, ctx, OFF_STACK_TOP, b.i32(0), is_main)
+
+    # Eager per-warp ICV records: every warp master writes defaults, so
+    # the state area is never the all-zero page the new runtime keeps.
+    rec = _warp_record_addr(b, ctx)
+    lane = b.intrinsic("gpu.lane_id", [], "lane")
+    is_warp_master = b.icmp("eq", lane, b.i32(0), "warp.master")
+    wm_block = func.add_block("warp.init")
+    wm_cont = func.add_block("warp.cont")
+    b.cond_br(is_warp_master, wm_block, wm_cont)
+    b.set_insert_point(wm_block)
+    b.store(b.i32(0), rec)  # levels
+    b.store(bdim, b.ptradd(rec, 4))  # nthreads
+    b.br(wm_cont)
+    b.set_insert_point(wm_cont)
+    b.barrier()  # unaligned broadcast barrier
+
+    spmd_exit = func.add_block("spmd.exit")
+    generic = func.add_block("generic")
+    b.cond_br(b.icmp("ne", is_spmd, b.i32(0)), spmd_exit, generic)
+
+    b.set_insert_point(spmd_exit)
+    b.ret(b.i32(0))
+
+    b.set_insert_point(generic)
+    worker_entry = func.add_block("worker.loop")
+    main_cont = func.add_block("main.cont")
+    b.cond_br(is_main, main_cont, worker_entry)
+
+    b.set_insert_point(worker_entry)
+    b.barrier()
+    done = b.load(I32, b.ptradd(ctx, OFF_DONE), "done")
+    work_check = func.add_block("worker.check")
+    worker_exit = func.add_block("worker.exit")
+    b.cond_br(b.icmp("ne", done, b.i32(0)), worker_exit, work_check)
+
+    b.set_insert_point(work_check)
+    fn = b.load(I64, b.ptradd(ctx, OFF_PARALLEL_FN), "fn")
+    do_work = func.add_block("worker.work")
+    join = func.add_block("worker.join")
+    b.cond_br(b.icmp("ne", fn, b.i64(0)), do_work, join)
+
+    b.set_insert_point(do_work)
+    args = b.load(I64, b.ptradd(ctx, OFF_PARALLEL_ARGS), "args")
+    b.call_indirect(fn, [tid, b.cast("inttoptr", args, PTR)], VOID)
+    b.br(join)
+
+    b.set_insert_point(join)
+    b.barrier()
+    b.br(worker_entry)
+
+    b.set_insert_point(worker_exit)
+    b.ret(b.i32(1))
+
+    b.set_insert_point(main_cont)
+    b.ret(b.i32(0))
+
+    func, b = rb.define("__kmpc_target_deinit_old", VOID, [I32], ["is_spmd"])
+    is_spmd = func.args[0]
+    spmd_block = func.add_block("spmd")
+    generic_block = func.add_block("generic")
+    b.cond_br(b.icmp("ne", is_spmd, b.i32(0)), spmd_block, generic_block)
+    b.set_insert_point(spmd_block)
+    b.barrier()
+    b.ret()
+    b.set_insert_point(generic_block)
+    b.store(b.i32(1), b.ptradd(ctx, OFF_DONE))
+    b.barrier()
+    b.ret()
+
+
+# -------------------------------------------------------------------- parallel --
+
+
+def _build_parallel(rb: RuntimeBuilder, gvs: OldRTGlobals) -> None:
+    ctx = gvs.context
+    func, b = rb.define("__kmpc_parallel_old", VOID, [PTR, PTR], ["fn", "args"])
+    fn, args = func.args
+
+    mode = b.load(I32, b.ptradd(ctx, OFF_EXEC_MODE), "mode")
+    spmd_block = func.add_block("spmd")
+    generic_block = func.add_block("generic")
+    b.cond_br(b.icmp("ne", mode, b.i32(0)), spmd_block, generic_block)
+
+    # SPMD: warp masters bump the warp-record level, barrier-bracketed.
+    b.set_insert_point(spmd_block)
+    tid = b.thread_id()
+    rec = _warp_record_addr(b, ctx)
+    lane = b.intrinsic("gpu.lane_id", [], "lane")
+    is_wm = b.icmp("eq", lane, b.i32(0), "warp.master")
+    lv_block = func.add_block("lv.up")
+    lv_cont = func.add_block("lv.cont")
+    b.cond_br(is_wm, lv_block, lv_cont)
+    b.set_insert_point(lv_block)
+    b.store(b.i32(1), rec)
+    b.br(lv_cont)
+    b.set_insert_point(lv_cont)
+    b.barrier()
+    b.call_indirect(fn, [tid, args], VOID)
+    b.barrier()
+    lv_down = func.add_block("lv.down")
+    lv_done = func.add_block("lv.done")
+    b.cond_br(is_wm, lv_down, lv_done)
+    b.set_insert_point(lv_down)
+    b.store(b.i32(0), rec)
+    b.br(lv_done)
+    b.set_insert_point(lv_done)
+    b.barrier()
+    b.ret()
+
+    # Generic: main publishes work to the control loop.
+    b.set_insert_point(generic_block)
+    bdim = b.block_dim()
+    b.store(b.cast("ptrtoint", fn, I64), b.ptradd(ctx, OFF_PARALLEL_FN))
+    b.store(b.cast("ptrtoint", args, I64), b.ptradd(ctx, OFF_PARALLEL_ARGS))
+    b.store(bdim, b.ptradd(ctx, OFF_TEAM_SIZE))
+    b.store(b.i32(1), b.ptradd(ctx, OFF_LEVELS))
+    b.barrier()  # wake workers
+    main_tid = b.sub(bdim, b.i32(1), "main.tid")
+    b.call_indirect(fn, [main_tid, args], VOID)
+    b.barrier()  # join
+    b.store(b.i64(0), b.ptradd(ctx, OFF_PARALLEL_FN))
+    b.store(b.i32(0), b.ptradd(ctx, OFF_LEVELS))
+    b.ret()
+
+
+# ------------------------------------------------------------------ worksharing --
+
+
+def _build_chunked_loop(rb: RuntimeBuilder, gvs: OldRTGlobals, name: str, scope: str) -> None:
+    """Old-style chunked dispatch: one barrier-bracketed chunk per round.
+
+    The chunk bounds round-trip through the team context (dispatch
+    state in memory), modeling the old split distribute/for scheme.
+    """
+    ctx = gvs.context
+    func, b = rb.define(name, VOID, [PTR, PTR, I64], ["body", "args", "num_iters"])
+    body_fn, args, num_iters = func.args
+
+    tid = b.thread_id()
+    bid = b.block_id()
+    bdim = b.block_dim()
+    gdim = b.grid_dim()
+    if scope == "grid":
+        executor = b.sext(b.add(b.mul(bid, bdim), tid), I64, "executor")
+        round_size = b.sext(b.mul(gdim, bdim), I64, "round")
+    elif scope == "team":
+        executor = b.sext(tid, I64, "executor")
+        round_size = b.sext(bdim, I64, "round")
+    else:  # teams
+        executor = b.sext(bid, I64, "executor")
+        round_size = b.sext(gdim, I64, "round")
+
+    head = func.add_block("head")
+    body_block = func.add_block("chunk")
+    dispatch = func.add_block("dispatch")
+    skip = func.add_block("skip")
+    latch = func.add_block("latch")
+    exit_block = func.add_block("exit")
+    b.br(head)
+
+    b.set_insert_point(head)
+    base = b.phi(I64, "base")
+    base.add_incoming(b.i64(0), func.entry)
+    in_range = b.icmp("slt", base, num_iters, "base.inrange")
+    b.cond_br(in_range, body_block, exit_block)
+
+    # Dispatch state kept in shared memory: the old runtime's
+    # dispatch_init/next bookkeeping.
+    b.set_insert_point(body_block)
+    lb_addr = b.ptradd(ctx, OFF_WARP_RECORDS + 64, "dispatch.lb")
+    b.store(base, lb_addr)
+    iv = b.add(b.load(I64, lb_addr, "lb"), executor, "iv")
+    has_work = b.icmp("slt", iv, num_iters, "has.work")
+    b.cond_br(has_work, dispatch, skip)
+
+    b.set_insert_point(dispatch)
+    b.call_indirect(body_fn, [iv, args], VOID)
+    b.br(skip)
+
+    b.set_insert_point(skip)
+    if scope != "teams":
+        b.barrier()  # unaligned end-of-chunk synchronization
+    b.br(latch)
+
+    b.set_insert_point(latch)
+    next_base = b.add(base, round_size, "base.next")
+    base.add_incoming(next_base, latch)
+    b.br(head)
+
+    b.set_insert_point(exit_block)
+    b.ret()
+
+
+def _build_worksharing(rb: RuntimeBuilder, gvs: OldRTGlobals) -> None:
+    _build_chunked_loop(rb, gvs, "__kmpc_distribute_parallel_for_old", "grid")
+    _build_chunked_loop(rb, gvs, "__kmpc_for_static_old", "team")
+    _build_chunked_loop(rb, gvs, "__kmpc_distribute_static_old", "teams")
+
+
+# ---------------------------------------------------------------------- queries --
+
+
+def _build_queries(rb: RuntimeBuilder, gvs: OldRTGlobals) -> None:
+    ctx = gvs.context
+
+    func, b = rb.define("omp_get_thread_num_old", I32, [], [])
+    rec = _warp_record_addr(b, ctx)
+    levels = b.load(I32, rec, "levels")
+    seq = b.icmp("eq", levels, b.i32(0), "seq")
+    b.ret(b.select(seq, b.i32(0), b.thread_id(), "omp.tid"))
+
+    func, b = rb.define("omp_get_num_threads_old", I32, [], [])
+    rec = _warp_record_addr(b, ctx)
+    levels = b.load(I32, rec, "levels")
+    size = b.load(I32, b.ptradd(ctx, OFF_TEAM_SIZE), "team.size")
+    seq = b.icmp("eq", levels, b.i32(0), "seq")
+    b.ret(b.select(seq, b.i32(1), size, "omp.nthreads"))
+
+    func, b = rb.define("omp_get_team_num_old", I32, [], [])
+    b.ret(b.block_id())
+
+    func, b = rb.define("omp_get_num_teams_old", I32, [], [])
+    b.ret(b.grid_dim())
+
+    func, b = rb.define("omp_get_level_old", I32, [], [])
+    rec = _warp_record_addr(b, ctx)
+    b.ret(b.load(I32, rec, "levels"))
+
+    func, b = rb.define("__kmpc_barrier_old", VOID, [], [])
+    b.barrier()
+    b.ret()

@@ -1,0 +1,19 @@
+"""Virtual GPU: interpreter, cost model and resource accounting."""
+
+from repro.vgpu.config import DEFAULT_CONFIG, GPUConfig, LaunchConfig  # noqa: F401
+from repro.vgpu.cost import CostModel  # noqa: F401
+from repro.vgpu.errors import (  # noqa: F401
+    AssumptionViolation,
+    DivergenceError,
+    SimulationError,
+    StepLimitExceeded,
+    TrapError,
+)
+from repro.vgpu.interpreter import VirtualGPU  # noqa: F401
+from repro.vgpu.profiler import KernelProfile, NOMINAL_CLOCK_GHZ  # noqa: F401
+from repro.vgpu.registers import estimate_kernel_registers, max_live_values  # noqa: F401
+from repro.vgpu.resources import (  # noqa: F401
+    ResourceUsage,
+    measure_resources,
+    shared_memory_usage,
+)

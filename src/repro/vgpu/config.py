@@ -1,0 +1,89 @@
+"""Virtual GPU configuration.
+
+The default numbers are loosely modeled on one A100 SM partition but
+scaled down so pure-Python interpretation stays fast.  Only *relative*
+costs matter for the reproduction: global memory is an order of
+magnitude slower than shared memory, barriers cost tens of cycles,
+special-function math is expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.memory.addrspace import AddressSpace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Hardware model parameters for the virtual GPU."""
+
+    #: Number of streaming multiprocessors; teams beyond this execute in
+    #: additional "waves" (time adds up instead of overlapping).
+    num_sms: int = 8
+    warp_size: int = 32
+    max_threads_per_team: int = 128
+    #: Static + dynamic shared memory capacity per team (bytes).
+    shared_memory_per_team: int = 64 * 1024
+    #: Local (stack) memory per thread (bytes).
+    local_memory_per_thread: int = 64 * 1024
+    global_memory: int = 1 << 24
+    constant_memory: int = 1 << 20
+    #: Fixed kernel launch cost in cycles.
+    launch_overhead: int = 400
+    #: Interpreter safety valve: per-thread executed-instruction cap.
+    max_steps_per_thread: int = 20_000_000
+
+    #: Memory access latencies by address space (cycles).
+    load_cost: Dict[AddressSpace, int] = field(default_factory=lambda: {
+        AddressSpace.GLOBAL: 40,
+        AddressSpace.GENERIC: 40,
+        AddressSpace.SHARED: 4,
+        AddressSpace.CONSTANT: 4,
+        AddressSpace.LOCAL: 2,
+    })
+    store_cost: Dict[AddressSpace, int] = field(default_factory=lambda: {
+        AddressSpace.GLOBAL: 40,
+        AddressSpace.GENERIC: 40,
+        AddressSpace.SHARED: 4,
+        AddressSpace.CONSTANT: 4,
+        AddressSpace.LOCAL: 2,
+    })
+    atomic_cost: int = 60
+    #: Cost of the call/return bookkeeping for a non-inlined call.
+    call_cost: int = 6
+    #: Integer ALU op cost.
+    int_op_cost: int = 1
+    #: Floating point add/mul cost.
+    float_op_cost: int = 2
+    #: Floating point divide cost.
+    float_div_cost: int = 10
+    #: Integer divide/remainder cost.
+    int_div_cost: int = 8
+    branch_cost: int = 1
+    select_cost: int = 1
+    cast_cost: int = 1
+    alloca_cost: int = 1
+    phi_cost: int = 0
+
+
+DEFAULT_CONFIG = GPUConfig()
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry for one kernel launch."""
+
+    num_teams: int
+    threads_per_team: int
+
+    def __post_init__(self) -> None:
+        if self.num_teams < 1:
+            raise ValueError("num_teams must be >= 1")
+        if self.threads_per_team < 1:
+            raise ValueError("threads_per_team must be >= 1")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_teams * self.threads_per_team

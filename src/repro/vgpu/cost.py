@@ -1,0 +1,79 @@
+"""Instruction cycle-cost model.
+
+Charged by the interpreter per executed instruction; this is what turns
+"the optimizer removed N loads and M barriers" into the kernel-time
+deltas reported by the benchmark harness (paper Fig. 10–12).
+"""
+
+from __future__ import annotations
+
+from repro.memory.addrspace import AddressSpace
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Select,
+    Store,
+)
+from repro.ir.intrinsics import intrinsic_info
+from repro.vgpu.config import GPUConfig
+
+_FLOAT_OPS = {"fadd", "fsub", "fmul", "frem"}
+_INT_DIV_OPS = {"sdiv", "udiv", "srem", "urem"}
+
+
+class CostModel:
+    """Maps executed instructions to cycle costs."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+
+    def binop_cost(self, inst: BinOp) -> int:
+        if inst.opcode == "fdiv":
+            return self.config.float_div_cost
+        if inst.opcode in _FLOAT_OPS:
+            return self.config.float_op_cost
+        if inst.opcode in _INT_DIV_OPS:
+            return self.config.int_div_cost
+        return self.config.int_op_cost
+
+    def load_cost(self, space: AddressSpace) -> int:
+        return self.config.load_cost[space]
+
+    def store_cost(self, space: AddressSpace) -> int:
+        return self.config.store_cost[space]
+
+    def call_cost(self, callee_name: str) -> int:
+        info = intrinsic_info(callee_name)
+        if info is not None:
+            return info.cost
+        return self.config.call_cost
+
+    def simple_cost(self, inst: Instruction) -> int:
+        """Cost of instructions whose price doesn't depend on runtime
+        state (everything except memory ops and calls)."""
+        if isinstance(inst, BinOp):
+            return self.binop_cost(inst)
+        if isinstance(inst, (ICmp, FCmp)):
+            return self.config.int_op_cost
+        if isinstance(inst, Select):
+            return self.config.select_cost
+        if isinstance(inst, Cast):
+            return self.config.cast_cost
+        if isinstance(inst, PtrAdd):
+            return self.config.int_op_cost
+        if isinstance(inst, Phi):
+            return self.config.phi_cost
+        if isinstance(inst, Alloca):
+            return self.config.alloca_cost
+        if isinstance(inst, AtomicRMW):
+            return self.config.atomic_cost
+        return self.config.branch_cost

@@ -1,0 +1,32 @@
+"""Simulation error hierarchy."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for virtual-GPU execution failures."""
+
+
+class TrapError(SimulationError):
+    """``llvm.trap`` executed (e.g. a failed runtime assertion)."""
+
+
+class DivergenceError(SimulationError):
+    """Threads reached *different* aligned-barrier instructions.
+
+    An aligned barrier promises that every thread of the team arrives at
+    the same barrier instruction (paper §IV-C); violating it is UB on
+    real hardware and a hard error in the simulator's debug mode.
+    """
+
+
+class AssumptionViolation(SimulationError):
+    """An ``llvm.assume`` operand evaluated to false in debug mode.
+
+    This is the mechanism of paper §III-G: in debug builds assumptions
+    are *checked* like assertions, in release builds they are trusted.
+    """
+
+
+class StepLimitExceeded(SimulationError):
+    """A thread ran past the configured instruction budget (livelock guard)."""

@@ -1,0 +1,881 @@
+"""The virtual GPU: an IR interpreter with GPU execution semantics.
+
+Execution model (paper Fig. 2): a launch creates ``num_teams`` teams of
+``threads_per_team`` threads.  Teams are independent; within a team,
+threads run interleaved at *barrier granularity* — every thread runs
+until it either terminates or arrives at a team barrier, then the
+barrier releases all arrivals at once.  This is a legal interleaving
+for any data-race-free OpenMP/CUDA program and makes simulation
+deterministic.
+
+Timing: a team's elapsed time is the sum over barrier-delimited phases
+of the *maximum* per-thread cycle count in the phase (threads run in
+parallel on hardware), plus barrier costs.  The kernel time is the sum
+over SM waves of the slowest team in each wave, plus launch overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.memory.addrspace import AddressSpace, make_pointer, pointer_space
+from repro.memory.layout import DATA_LAYOUT
+from repro.memory.memmodel import MemorySystem, encode_scalar, scalar_size
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.intrinsics import intrinsic_info
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import F32, F64, FloatType, IntType, PointerType, Type
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from repro.vgpu.config import DEFAULT_CONFIG, GPUConfig, LaunchConfig
+from repro.vgpu.cost import CostModel
+from repro.vgpu.errors import (
+    AssumptionViolation,
+    DivergenceError,
+    SimulationError,
+    StepLimitExceeded,
+    TrapError,
+)
+from repro.vgpu.profiler import KernelProfile
+from repro.vgpu.resources import measure_resources
+
+Scalar = Union[int, float]
+
+
+class ThreadStatus(enum.Enum):
+    RUNNING = "running"
+    AT_BARRIER = "at_barrier"
+    DONE = "done"
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "block", "index", "values", "call_site", "pred_block")
+
+    def __init__(self, function: Function, call_site: Optional[Call]) -> None:
+        self.function = function
+        self.block: BasicBlock = function.entry
+        self.index = 0
+        self.values: Dict[Value, Scalar] = {}
+        self.call_site = call_site
+        self.pred_block: Optional[BasicBlock] = None
+
+
+class ThreadContext:
+    """Execution state of one GPU thread."""
+
+    __slots__ = (
+        "team_id",
+        "thread_id",
+        "frames",
+        "status",
+        "phase_cycles",
+        "total_cycles",
+        "steps",
+        "barrier_call",
+        "done_phase_recorded",
+    )
+
+    def __init__(self, team_id: int, thread_id: int) -> None:
+        self.team_id = team_id
+        self.thread_id = thread_id
+        self.frames: List[Frame] = []
+        self.status = ThreadStatus.RUNNING
+        self.phase_cycles = 0
+        self.total_cycles = 0
+        self.steps = 0
+        self.barrier_call: Optional[Call] = None
+        self.done_phase_recorded = False
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+
+class VirtualGPU:
+    """Loads a module onto simulated hardware and launches kernels."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: GPUConfig = DEFAULT_CONFIG,
+        debug_checks: bool = False,
+        env: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.module = module
+        self.config = config
+        self.cost = CostModel(config)
+        #: When True the simulator verifies assumptions and aligned-barrier
+        #: alignment — the dynamic half of the paper's debug mode.
+        self.debug_checks = debug_checks
+        self.env = dict(env or {})
+        self.memory = MemorySystem(
+            global_size=config.global_memory,
+            constant_size=config.constant_memory,
+            shared_size=config.shared_memory_per_team,
+            local_size=config.local_memory_per_thread,
+        )
+        self.global_addresses: Dict[GlobalVariable, int] = {}
+        self._shared_inits: List[Tuple[int, bytes]] = []
+        self.function_addresses: Dict[Function, int] = {}
+        self._functions_by_address: Dict[int, Function] = {}
+        self._string_table: Dict[int, str] = {}
+        self._materialize_globals()
+        self._assign_function_addresses()
+        self._apply_environment()
+
+    # ------------------------------------------------------------------ setup --
+
+    def _materialize_globals(self) -> None:
+        for gv in self.module.globals.values():
+            size = DATA_LAYOUT.size_of(gv.value_type)
+            align = DATA_LAYOUT.align_of(gv.value_type)
+            image = self._initializer_image(gv, size)
+            if gv.addrspace is AddressSpace.SHARED:
+                addr = self.memory.reserve_shared_layout(size, align)
+                if image is not None:
+                    self._shared_inits.append((addr, image))
+            elif gv.addrspace is AddressSpace.CONSTANT:
+                addr = self.memory.constant_seg.allocate(size, align)
+                if image is not None:
+                    self.memory.constant_seg.write_bytes(addr & ((1 << 48) - 1), image)
+            else:
+                addr = self.memory.global_seg.allocate(size, align)
+                if image is not None:
+                    self.memory.write_raw(addr, image)
+            self.global_addresses[gv] = addr
+            if isinstance(gv.initializer, bytes) and gv.value_type.is_aggregate:
+                # Register plausible C strings for device-side printing.
+                raw = gv.initializer.split(b"\x00", 1)[0]
+                try:
+                    self._string_table[addr] = raw.decode("utf-8")
+                except UnicodeDecodeError:
+                    pass
+
+    @staticmethod
+    def _initializer_image(gv: GlobalVariable, size: int) -> Optional[bytes]:
+        init = gv.initializer
+        if init is None:
+            return None  # segments are zero-initialized already
+        if isinstance(init, bytes):
+            if len(init) > size:
+                raise SimulationError(
+                    f"initializer of @{gv.name} larger than its type"
+                )
+            return init.ljust(size, b"\x00")
+        image = bytearray()
+        for const in init:
+            image += encode_scalar(const.value, const.type)
+        if len(image) > size:
+            raise SimulationError(f"initializer of @{gv.name} larger than its type")
+        return bytes(image).ljust(size, b"\x00")
+
+    def _assign_function_addresses(self) -> None:
+        for i, func in enumerate(self.module.functions.values()):
+            addr = make_pointer(AddressSpace.CONSTANT, 0xF000 + 8 * i)
+            self.function_addresses[func] = addr
+            self._functions_by_address[addr] = func
+
+    def _apply_environment(self) -> None:
+        """Write host environment variables into device-environment globals.
+
+        The runtime reads ``@__omp_rtl_env_<NAME>`` at initialization —
+        the analogue of ``LIBOMPTARGET_DEVICE_RTL_DEBUG`` in the paper.
+        """
+        for name, value in self.env.items():
+            gv = self.module.globals.get(f"__omp_rtl_env_{name}")
+            if gv is not None:
+                self.memory.store(
+                    self.global_addresses[gv], int(value), gv.value_type
+                )
+
+    # ------------------------------------------------------------- host memory --
+
+    def alloc_bytes(self, size: int) -> int:
+        return self.memory.malloc(size)
+
+    def alloc_array(self, array: np.ndarray) -> int:
+        """Copy a NumPy array into device global memory; returns a pointer."""
+        data = np.ascontiguousarray(array)
+        ptr = self.memory.malloc(max(1, data.nbytes))
+        self.memory.write_raw(ptr, data.tobytes())
+        return ptr
+
+    def read_array(self, ptr: int, dtype, count: int) -> np.ndarray:
+        itemsize = np.dtype(dtype).itemsize
+        raw = self.memory.read_raw(ptr, itemsize * count)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def read_scalar(self, ptr: int, ty: Type) -> Scalar:
+        return self.memory.load(ptr, ty)
+
+    def write_scalar(self, ptr: int, value: Scalar, ty: Type) -> None:
+        self.memory.store(ptr, value, ty)
+
+    # ------------------------------------------------------------------ launch --
+
+    def launch(
+        self,
+        kernel: Union[str, Function],
+        args: Sequence[Scalar],
+        num_teams: int,
+        threads_per_team: int,
+        dynamic_shared_bytes: int = 0,
+    ) -> KernelProfile:
+        """Execute *kernel* over the given grid; returns its profile.
+
+        ``dynamic_shared_bytes`` models the launch-time dynamic shared
+        memory of §III-D: each team gets that many extra bytes beyond
+        the static allocation, reachable via ``gpu.dynamic_shared``.
+        """
+        func = self.module.get_function(kernel) if isinstance(kernel, str) else kernel
+        if func.is_declaration:
+            raise SimulationError(f"kernel @{func.name} has no body")
+        if threads_per_team > self.config.max_threads_per_team:
+            raise SimulationError(
+                f"threads_per_team {threads_per_team} exceeds device limit "
+                f"{self.config.max_threads_per_team}"
+            )
+        if len(args) != len(func.args):
+            raise SimulationError(
+                f"kernel @{func.name} expects {len(func.args)} args, got {len(args)}"
+            )
+        launch = LaunchConfig(num_teams, threads_per_team)
+        self._dynamic_shared_bytes = dynamic_shared_bytes
+        self._dynamic_shared_base: Dict[int, int] = {}
+        profile = KernelProfile(
+            kernel_name=func.name,
+            num_teams=num_teams,
+            threads_per_team=threads_per_team,
+        )
+        resources = measure_resources(func, self.module)
+        profile.registers = resources.registers
+        profile.shared_memory_bytes = resources.shared_memory_bytes
+
+        team_times: List[int] = []
+        for team_id in range(num_teams):
+            team_times.append(self._run_team(func, args, team_id, launch, profile))
+            profile.team_cycles[team_id] = team_times[-1]
+
+        # SM wave model: teams fill SMs; each wave costs its slowest team.
+        total = self.config.launch_overhead
+        for wave_start in range(0, num_teams, self.config.num_sms):
+            total += max(team_times[wave_start : wave_start + self.config.num_sms])
+        profile.cycles = total
+        return profile
+
+    # ------------------------------------------------------------- team driver --
+
+    def _run_team(
+        self,
+        kernel: Function,
+        args: Sequence[Scalar],
+        team_id: int,
+        launch: LaunchConfig,
+        profile: KernelProfile,
+    ) -> int:
+        # (Re)initialize this team's shared segment image.
+        seg = self.memory.shared_segment(team_id)
+        seg.data[:] = b"\x00" * len(seg.data)
+        seg.brk = self.memory.shared_brk_template
+        seg.high_water = seg.brk
+        if getattr(self, "_dynamic_shared_bytes", 0):
+            self._dynamic_shared_base[team_id] = seg.allocate(
+                self._dynamic_shared_bytes)
+        for addr, image in self._shared_inits:
+            offset = addr & ((1 << 48) - 1)
+            seg.write_bytes(offset, image)
+
+        threads = [ThreadContext(team_id, t) for t in range(launch.threads_per_team)]
+        for thread in threads:
+            frame = Frame(kernel, None)
+            for formal, actual in zip(kernel.args, args):
+                frame.values[formal] = self._coerce(actual, formal.type)
+            thread.frames.append(frame)
+
+        team_time = 0
+        while True:
+            alive = [t for t in threads if t.status is not ThreadStatus.DONE]
+            if not alive:
+                break
+            runnable = [t for t in alive if t.status is ThreadStatus.RUNNING]
+            if runnable:
+                for thread in runnable:
+                    self._run_thread(thread, launch, profile)
+                continue
+            # Everyone alive is at a barrier: close the phase.
+            barrier_calls = {t.barrier_call for t in alive}
+            aligned = all(
+                self._barrier_is_aligned(c) for c in barrier_calls if c is not None
+            )
+            if self.debug_checks and aligned and len(barrier_calls) > 1:
+                raise DivergenceError(
+                    f"threads of team {team_id} reached different aligned "
+                    f"barrier instructions"
+                )
+            barrier_cost = max(
+                (self._barrier_cost(c) for c in barrier_calls if c is not None),
+                default=0,
+            )
+            phase = max(t.phase_cycles for t in threads)
+            team_time += phase + barrier_cost
+            profile.barriers += 1
+            for t in threads:
+                t.phase_cycles = 0
+                if t.status is ThreadStatus.AT_BARRIER:
+                    t.status = ThreadStatus.RUNNING
+                    t.barrier_call = None
+        team_time += max((t.phase_cycles for t in threads), default=0)
+        for t in threads:
+            profile.instructions += t.steps
+        profile.shared_stack_high_water = max(
+            profile.shared_stack_high_water, seg.high_water - self.memory.shared_brk_template
+        )
+        return team_time
+
+    @staticmethod
+    def _barrier_is_aligned(call: Call) -> bool:
+        callee = call.callee
+        if callee is None:
+            return False
+        info = intrinsic_info(callee.name)
+        return bool(info and info.aligned)
+
+    def _barrier_cost(self, call: Call) -> int:
+        callee = call.callee
+        if callee is None:
+            return 0
+        info = intrinsic_info(callee.name)
+        return info.cost if info else 0
+
+    # ------------------------------------------------------------ thread driver --
+
+    def _run_thread(
+        self, thread: ThreadContext, launch: LaunchConfig, profile: KernelProfile
+    ) -> None:
+        """Run *thread* until it terminates or arrives at a barrier."""
+        max_steps = self.config.max_steps_per_thread
+        while thread.status is ThreadStatus.RUNNING:
+            frame = thread.frame
+            inst = frame.block.instructions[frame.index]
+            thread.steps += 1
+            if thread.steps > max_steps:
+                raise StepLimitExceeded(
+                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
+                    f"{max_steps} steps in @{frame.function.name}"
+                )
+            self._execute(inst, thread, launch, profile)
+
+    # -------------------------------------------------------------- evaluation --
+
+    def _coerce(self, value: Scalar, ty: Type) -> Scalar:
+        if isinstance(ty, IntType):
+            return ty.wrap(int(value))
+        if isinstance(ty, FloatType):
+            return float(value)
+        return int(value)
+
+    def _eval(self, value: Value, frame: Frame) -> Scalar:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, (Instruction, Argument)):
+            try:
+                return frame.values[value]
+            except KeyError:
+                raise SimulationError(
+                    f"use of undefined value {value.short()} in "
+                    f"@{frame.function.name}"
+                ) from None
+        if isinstance(value, GlobalVariable):
+            return self.global_addresses[value]
+        if isinstance(value, Function):
+            return self.function_addresses[value]
+        if isinstance(value, UndefValue):
+            return 0
+        raise SimulationError(f"cannot evaluate {value!r}")  # pragma: no cover
+
+    def _advance(self, thread: ThreadContext) -> None:
+        thread.frame.index += 1
+
+    def _branch_to(self, thread: ThreadContext, target: BasicBlock) -> None:
+        frame = thread.frame
+        pred = frame.block
+        # Parallel-copy phi semantics: read all incomings before writing.
+        phis = target.phis()
+        if phis:
+            staged = [(phi, self._eval(phi.incoming_value_for(pred), frame)) for phi in phis]
+            for phi, val in staged:
+                frame.values[phi] = val
+        frame.pred_block = pred
+        frame.block = target
+        frame.index = target.first_non_phi_index()
+
+    # --------------------------------------------------------------- execution --
+
+    def _execute(
+        self,
+        inst: Instruction,
+        thread: ThreadContext,
+        launch: LaunchConfig,
+        profile: KernelProfile,
+    ) -> None:
+        frame = thread.frame
+        profile.opcode_counts[inst.opcode] += 1
+
+        if isinstance(inst, BinOp):
+            lhs = self._eval(inst.lhs, frame)
+            rhs = self._eval(inst.rhs, frame)
+            frame.values[inst] = self._binop(inst, lhs, rhs, thread)
+            thread.phase_cycles += self.cost.binop_cost(inst)
+            if inst.opcode in ("fadd", "fsub", "fmul", "fdiv", "frem"):
+                profile.flops += 1
+            self._advance(thread)
+            return
+
+        if isinstance(inst, Load):
+            ptr = int(self._eval(inst.pointer, frame))
+            space = pointer_space(ptr)
+            frame.values[inst] = self.memory.load(
+                ptr, inst.type, thread.team_id, thread.thread_id
+            )
+            profile.loads_by_space[space] += 1
+            thread.phase_cycles += self.cost.load_cost(space)
+            self._advance(thread)
+            return
+
+        if isinstance(inst, Store):
+            ptr = int(self._eval(inst.pointer, frame))
+            value = self._eval(inst.value, frame)
+            space = pointer_space(ptr)
+            self.memory.store(
+                ptr, value, inst.value.type, thread.team_id, thread.thread_id
+            )
+            profile.stores_by_space[space] += 1
+            thread.phase_cycles += self.cost.store_cost(space)
+            self._advance(thread)
+            return
+
+        if isinstance(inst, PtrAdd):
+            base = int(self._eval(inst.pointer, frame))
+            offset_ty = inst.offset.type
+            assert isinstance(offset_ty, IntType)
+            offset = offset_ty.to_signed(int(self._eval(inst.offset, frame)))
+            frame.values[inst] = base + offset
+            thread.phase_cycles += self.cost.config.int_op_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, ICmp):
+            frame.values[inst] = self._icmp(inst, frame)
+            thread.phase_cycles += self.cost.config.int_op_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, FCmp):
+            frame.values[inst] = self._fcmp(inst, frame)
+            thread.phase_cycles += self.cost.config.int_op_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, Select):
+            cond = self._eval(inst.condition, frame)
+            picked = inst.true_value if cond else inst.false_value
+            frame.values[inst] = self._eval(picked, frame)
+            thread.phase_cycles += self.cost.config.select_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, Cast):
+            frame.values[inst] = self._cast(inst, frame)
+            thread.phase_cycles += self.cost.config.cast_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, Alloca):
+            seg = self.memory.local_segment(thread.team_id, thread.thread_id)
+            size = DATA_LAYOUT.size_of(inst.allocated_type)
+            align = DATA_LAYOUT.align_of(inst.allocated_type)
+            frame.values[inst] = seg.allocate(size, align)
+            thread.phase_cycles += self.cost.config.alloca_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, AtomicRMW):
+            ptr = int(self._eval(inst.pointer, frame))
+            operand = self._eval(inst.value, frame)
+            ty = inst.value.type
+            old = self.memory.load(ptr, ty, thread.team_id, thread.thread_id)
+            new = self._atomic_apply(inst.operation, old, operand, ty)
+            self.memory.store(ptr, new, ty, thread.team_id, thread.thread_id)
+            frame.values[inst] = old
+            thread.phase_cycles += self.cost.config.atomic_cost
+            self._advance(thread)
+            return
+
+        if isinstance(inst, Br):
+            thread.phase_cycles += self.cost.config.branch_cost
+            self._branch_to(thread, inst.target)
+            return
+
+        if isinstance(inst, CondBr):
+            cond = self._eval(inst.condition, frame)
+            thread.phase_cycles += self.cost.config.branch_cost
+            self._branch_to(thread, inst.true_target if cond else inst.false_target)
+            return
+
+        if isinstance(inst, Ret):
+            rv = inst.return_value
+            result = self._eval(rv, frame) if rv is not None else None
+            thread.frames.pop()
+            if not thread.frames:
+                thread.status = ThreadStatus.DONE
+                thread.total_cycles += thread.phase_cycles
+                return
+            caller = thread.frame
+            call_site = frame.call_site
+            assert call_site is not None
+            if result is not None:
+                caller.values[call_site] = result
+            caller.index += 1
+            return
+
+        if isinstance(inst, Unreachable):
+            raise TrapError(
+                f"unreachable executed in @{frame.function.name} "
+                f"(team {thread.team_id}, thread {thread.thread_id})"
+            )
+
+        if isinstance(inst, Call):
+            self._execute_call(inst, thread, launch, profile)
+            return
+
+        if isinstance(inst, Phi):  # pragma: no cover - phis run at branch time
+            raise SimulationError("phi reached by sequential execution")
+
+        raise SimulationError(f"unhandled instruction {inst.opcode}")  # pragma: no cover
+
+    # ------------------------------------------------------------------- calls --
+
+    def _execute_call(
+        self,
+        inst: Call,
+        thread: ThreadContext,
+        launch: LaunchConfig,
+        profile: KernelProfile,
+    ) -> None:
+        frame = thread.frame
+        callee = inst.callee
+        if callee is None:
+            address = int(self._eval(inst.callee_operand, frame))
+            callee = self._functions_by_address.get(address)
+            if callee is None:
+                raise SimulationError(
+                    f"indirect call to unmapped address {address:#x} in "
+                    f"@{frame.function.name}"
+                )
+
+        info = intrinsic_info(callee.name)
+        if info is not None:
+            self._execute_intrinsic(inst, callee.name, info, thread, launch, profile)
+            return
+
+        if callee.is_declaration:
+            raise SimulationError(f"call to undefined function @{callee.name}")
+
+        thread.phase_cycles += self.cost.config.call_cost
+        new_frame = Frame(callee, inst)
+        if len(inst.args) != len(callee.args):
+            raise SimulationError(
+                f"call to @{callee.name}: {len(inst.args)} args for "
+                f"{len(callee.args)} params"
+            )
+        for formal, actual in zip(callee.args, inst.args):
+            new_frame.values[formal] = self._coerce(self._eval(actual, frame), formal.type)
+        thread.frames.append(new_frame)
+        if len(thread.frames) > 512:
+            raise SimulationError(
+                f"call stack overflow in @{callee.name} "
+                f"(team {thread.team_id}, thread {thread.thread_id})"
+            )
+
+    def _execute_intrinsic(
+        self,
+        inst: Call,
+        name: str,
+        info,
+        thread: ThreadContext,
+        launch: LaunchConfig,
+        profile: KernelProfile,
+    ) -> None:
+        frame = thread.frame
+        argv = [self._eval(a, frame) for a in inst.args]
+        thread.phase_cycles += info.cost
+
+        if info.is_barrier:
+            thread.status = ThreadStatus.AT_BARRIER
+            thread.barrier_call = inst
+            self._advance(thread)
+            return
+
+        result: Optional[Scalar] = None
+        if name == "gpu.thread_id":
+            result = thread.thread_id
+        elif name == "gpu.block_id":
+            result = thread.team_id
+        elif name == "gpu.block_dim":
+            result = launch.threads_per_team
+        elif name == "gpu.grid_dim":
+            result = launch.num_teams
+        elif name == "gpu.warp_size":
+            result = self.config.warp_size
+        elif name == "gpu.lane_id":
+            result = thread.thread_id % self.config.warp_size
+        elif name == "gpu.dynamic_shared":
+            base = getattr(self, "_dynamic_shared_base", {}).get(thread.team_id)
+            if base is None:
+                raise SimulationError(
+                    "gpu.dynamic_shared used but the launch reserved no "
+                    "dynamic shared memory"
+                )
+            result = base
+        elif name == "llvm.assume":
+            if self.debug_checks and not argv[0]:
+                raise AssumptionViolation(
+                    f"assumption violated in @{frame.function.name} "
+                    f"(team {thread.team_id}, thread {thread.thread_id})"
+                )
+        elif name == "llvm.expect":
+            result = argv[0]
+        elif name == "llvm.trap":
+            msg = profile.output[-1] if profile.output else "llvm.trap"
+            raise TrapError(
+                f"trap in @{frame.function.name} "
+                f"(team {thread.team_id}, thread {thread.thread_id}): {msg}"
+            )
+        elif name == "rt.print_i64":
+            text = str(IntType(64).to_signed(int(argv[0])))
+            profile.output.append(text)
+        elif name == "rt.print_f64":
+            profile.output.append(repr(float(argv[0])))
+        elif name == "rt.print_str":
+            addr = int(argv[0])
+            profile.output.append(self._string_table.get(addr, f"<str {addr:#x}>"))
+        elif name == "malloc":
+            result = self.memory.malloc(int(argv[0]))
+        elif name == "free":
+            self.memory.free(int(argv[0]))
+        elif name == "llvm.memset":
+            self.memory.memset(
+                int(argv[0]), int(argv[1]), int(argv[2]), thread.team_id, thread.thread_id
+            )
+            thread.phase_cycles += int(argv[2]) // 8
+        elif name == "llvm.memcpy":
+            self.memory.memcpy(
+                int(argv[0]), int(argv[1]), int(argv[2]), thread.team_id, thread.thread_id
+            )
+            thread.phase_cycles += int(argv[2]) // 4
+        else:
+            result = self._math_intrinsic(name, argv)
+            if result is not None:
+                profile.flops += 1
+
+        if result is not None:
+            frame.values[inst] = self._coerce(result, inst.type)
+        self._advance(thread)
+
+    @staticmethod
+    def _math_intrinsic(name: str, argv: List[Scalar]) -> Optional[Scalar]:
+        import math
+
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] != "llvm":
+            raise SimulationError(f"unhandled intrinsic {name}")
+        op = parts[1]
+        x = float(argv[0])
+        if op == "sqrt":
+            return math.sqrt(x) if x >= 0 else float("nan")
+        if op == "exp":
+            try:
+                return math.exp(x)
+            except OverflowError:
+                return float("inf")
+        if op == "log":
+            return math.log(x) if x > 0 else float("-inf")
+        if op == "sin":
+            return math.sin(x)
+        if op == "cos":
+            return math.cos(x)
+        if op == "fabs":
+            return abs(x)
+        if op == "floor":
+            return math.floor(x)
+        if op == "pow":
+            return math.pow(x, float(argv[1]))
+        if op == "fmin":
+            return min(x, float(argv[1]))
+        if op == "fmax":
+            return max(x, float(argv[1]))
+        raise SimulationError(f"unhandled intrinsic {name}")
+
+    # ----------------------------------------------------------------- scalar ops --
+
+    def _binop(self, inst: BinOp, lhs: Scalar, rhs: Scalar, thread: ThreadContext) -> Scalar:
+        op = inst.opcode
+        ty = inst.type
+        if isinstance(ty, FloatType):
+            a, b = float(lhs), float(rhs)
+            if op == "fadd":
+                return a + b
+            if op == "fsub":
+                return a - b
+            if op == "fmul":
+                return a * b
+            if op == "fdiv":
+                if b == 0.0:
+                    return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+                return a / b
+            if op == "frem":
+                import math
+
+                return math.fmod(a, b) if b != 0.0 else float("nan")
+        if isinstance(ty, IntType) or isinstance(ty, PointerType):
+            ity = ty if isinstance(ty, IntType) else IntType(64)
+            a, b = int(lhs), int(rhs)
+            sa, sb = ity.to_signed(a), ity.to_signed(b)
+            if op == "add":
+                return ity.wrap(a + b)
+            if op == "sub":
+                return ity.wrap(a - b)
+            if op == "mul":
+                return ity.wrap(a * b)
+            if op == "and":
+                return a & b
+            if op == "or":
+                return a | b
+            if op == "xor":
+                return a ^ b
+            if op == "shl":
+                return ity.wrap(a << (b % ity.bits))
+            if op == "lshr":
+                return a >> (b % ity.bits)
+            if op == "ashr":
+                return ity.wrap(sa >> (b % ity.bits))
+            if op in ("sdiv", "srem"):
+                if sb == 0:
+                    raise TrapError("integer division by zero")
+                q = int(sa / sb)
+                return ity.wrap(q if op == "sdiv" else sa - q * sb)
+            if op in ("udiv", "urem"):
+                if b == 0:
+                    raise TrapError("integer division by zero")
+                return a // b if op == "udiv" else a % b
+        raise SimulationError(f"unhandled binop {op} on {ty}")  # pragma: no cover
+
+    def _icmp(self, inst: ICmp, frame: Frame) -> int:
+        lhs = int(self._eval(inst.lhs, frame))
+        rhs = int(self._eval(inst.rhs, frame))
+        ty = inst.lhs.type
+        if isinstance(ty, IntType):
+            sa, sb = ty.to_signed(lhs), ty.to_signed(rhs)
+        else:
+            sa, sb = lhs, rhs
+        pred = inst.predicate
+        result = {
+            "eq": lhs == rhs, "ne": lhs != rhs,
+            "ult": lhs < rhs, "ule": lhs <= rhs,
+            "ugt": lhs > rhs, "uge": lhs >= rhs,
+            "slt": sa < sb, "sle": sa <= sb,
+            "sgt": sa > sb, "sge": sa >= sb,
+        }[pred]
+        return 1 if result else 0
+
+    def _fcmp(self, inst: FCmp, frame: Frame) -> int:
+        import math
+
+        a = float(self._eval(inst.operands[0], frame))
+        b = float(self._eval(inst.operands[1], frame))
+        if math.isnan(a) or math.isnan(b):
+            return 0
+        pred = inst.predicate
+        result = {
+            "oeq": a == b, "one": a != b,
+            "olt": a < b, "ole": a <= b,
+            "ogt": a > b, "oge": a >= b,
+        }[pred]
+        return 1 if result else 0
+
+    def _cast(self, inst: Cast, frame: Frame) -> Scalar:
+        src = self._eval(inst.source, frame)
+        op = inst.opcode
+        src_ty = inst.source.type
+        dst_ty = inst.type
+        if op == "zext":
+            return int(src)
+        if op == "sext":
+            assert isinstance(src_ty, IntType) and isinstance(dst_ty, IntType)
+            return dst_ty.wrap(src_ty.to_signed(int(src)))
+        if op == "trunc":
+            assert isinstance(dst_ty, IntType)
+            return dst_ty.wrap(int(src))
+        if op == "sitofp":
+            assert isinstance(src_ty, IntType)
+            return float(src_ty.to_signed(int(src)))
+        if op == "uitofp":
+            return float(int(src))
+        if op == "fptosi":
+            assert isinstance(dst_ty, IntType)
+            return dst_ty.wrap(int(float(src)))
+        if op in ("fpext", "fptrunc"):
+            return float(src)
+        if op in ("ptrtoint", "inttoptr", "bitcast"):
+            return src
+        raise SimulationError(f"unhandled cast {op}")  # pragma: no cover
+
+    @staticmethod
+    def _atomic_apply(op: str, old: Scalar, operand: Scalar, ty: Type) -> Scalar:
+        if isinstance(ty, FloatType):
+            a, b = float(old), float(operand)
+            if op == "add":
+                return a + b
+            if op == "sub":
+                return a - b
+            if op == "max":
+                return max(a, b)
+            if op == "min":
+                return min(a, b)
+            if op == "exchange":
+                return b
+        assert isinstance(ty, IntType)
+        a, b = int(old), int(operand)
+        if op == "add":
+            return ty.wrap(a + b)
+        if op == "sub":
+            return ty.wrap(a - b)
+        if op == "max":
+            return max(ty.to_signed(a), ty.to_signed(b)) & ty.max_unsigned
+        if op == "min":
+            return min(ty.to_signed(a), ty.to_signed(b)) & ty.max_unsigned
+        if op == "exchange":
+            return b
+        raise SimulationError(f"unhandled atomic {op}")  # pragma: no cover

@@ -1,0 +1,86 @@
+"""Kernel execution profile — the simulated Nsight Compute.
+
+One :class:`KernelProfile` is produced per launch and carries the three
+quantities the paper's Fig. 11 reports (kernel time, register count,
+static shared memory) plus the instruction mix the harness uses for
+derived metrics (GFlops for GridMini, Fig. 12).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.memory.addrspace import AddressSpace
+
+#: Nominal clock used to convert cycles into "seconds" and flops/cycle
+#: into "GFlops".  Arbitrary but fixed, so ratios between builds are
+#: meaningful.
+NOMINAL_CLOCK_GHZ = 1.41
+
+
+@dataclass
+class KernelProfile:
+    """Measurements from one simulated kernel launch."""
+
+    kernel_name: str
+    num_teams: int
+    threads_per_team: int
+    #: Modeled kernel duration in cycles (includes launch overhead).
+    cycles: int = 0
+    #: Total instructions executed across all threads.
+    instructions: int = 0
+    #: Executed-instruction histogram by opcode.
+    opcode_counts: Counter = field(default_factory=Counter)
+    #: Loads/stores executed, keyed by address space.
+    loads_by_space: Counter = field(default_factory=Counter)
+    stores_by_space: Counter = field(default_factory=Counter)
+    #: Floating point operations executed (for GFlops reporting).
+    flops: int = 0
+    #: Team barriers released.
+    barriers: int = 0
+    #: Device-side printed output (debug tracing, assert messages).
+    output: List[str] = field(default_factory=list)
+    #: Static resources of the launched binary.
+    registers: int = 0
+    shared_memory_bytes: int = 0
+    #: Per-team cycle totals (diagnostic).
+    team_cycles: Dict[int, int] = field(default_factory=dict)
+    #: Peak dynamic shared-stack usage observed (bytes, diagnostic).
+    shared_stack_high_water: int = 0
+
+    @property
+    def time_seconds(self) -> float:
+        """Cycles converted through the nominal clock."""
+        return self.cycles / (NOMINAL_CLOCK_GHZ * 1e9)
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_seconds * 1e3
+
+    @property
+    def gflops(self) -> float:
+        """Floating-point throughput at the nominal clock."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flops / self.cycles * NOMINAL_CLOCK_GHZ
+
+    @property
+    def global_loads(self) -> int:
+        return self.loads_by_space.get(AddressSpace.GLOBAL, 0) + self.loads_by_space.get(
+            AddressSpace.GENERIC, 0
+        )
+
+    @property
+    def shared_accesses(self) -> int:
+        return self.loads_by_space.get(AddressSpace.SHARED, 0) + self.stores_by_space.get(
+            AddressSpace.SHARED, 0
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel_name}: {self.cycles} cycles, "
+            f"{self.instructions} insts, {self.registers} regs, "
+            f"{self.shared_memory_bytes}B smem, {self.barriers} barriers"
+        )

@@ -1,0 +1,118 @@
+"""Register pressure estimation.
+
+Approximates the register count Nsight reports (paper Fig. 11) by
+running SSA liveness over the final, optimized IR and taking the
+maximum number of simultaneously live values at any program point.
+Loop-carried values, runtime state pointers and the state machine all
+increase this number; the paper's optimizations reduce it by deleting
+exactly those values — so the *ordering* across builds is preserved
+even though the absolute count differs from NVCC's allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.cfg import predecessors, reverse_post_order
+from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import VOID
+from repro.ir.values import Argument, Value
+
+#: Registers reserved by the ABI/hardware (kernel params, special regs).
+BASE_REGISTERS = 8
+#: Extra registers charged per level of un-inlined call (saved state).
+CALL_DEPTH_PENALTY = 4
+
+
+def _is_tracked(value: Value) -> bool:
+    return isinstance(value, (Instruction, Argument))
+
+
+def block_liveness(func: Function) -> Dict[BasicBlock, Set[Value]]:
+    """Backward liveness fixpoint; returns live-out sets per block."""
+    live_in: Dict[BasicBlock, Set[Value]] = {b: set() for b in func.blocks}
+    live_out: Dict[BasicBlock, Set[Value]] = {b: set() for b in func.blocks}
+    preds = predecessors(func)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(reverse_post_order(func)):
+            out: Set[Value] = set()
+            for succ in block.successors():
+                for v in live_in[succ]:
+                    out.add(v)
+                for phi in succ.phis():
+                    try:
+                        v = phi.incoming_value_for(block)
+                    except KeyError:
+                        continue
+                    if _is_tracked(v):
+                        out.add(v)
+            new_in = set(out)
+            for inst in reversed(block.instructions):
+                new_in.discard(inst)
+                if isinstance(inst, Phi):
+                    continue  # phi operands counted on the incoming edges
+                for op in inst.operands:
+                    if _is_tracked(op):
+                        new_in.add(op)
+            for phi in block.phis():
+                new_in.discard(phi)
+            if out != live_out[block]:
+                live_out[block] = out
+                changed = True
+            if new_in != live_in[block]:
+                live_in[block] = new_in
+                changed = True
+    return live_out
+
+
+def max_live_values(func: Function) -> int:
+    """Maximum number of simultaneously live SSA values in *func*."""
+    if func.is_declaration:
+        return 0
+    live_out = block_liveness(func)
+    best = len(func.args)
+    for block in func.blocks:
+        live = set(live_out[block])
+        best = max(best, len(live) + len(block.phis()))
+        for inst in reversed(block.instructions):
+            live.discard(inst)
+            if not isinstance(inst, Phi):
+                for op in inst.operands:
+                    if _is_tracked(op):
+                        live.add(op)
+            best = max(best, len(live))
+    return best
+
+
+def _call_depth(func: Function, module: Module, seen: frozenset = frozenset()) -> int:
+    """Longest chain of non-intrinsic calls below *func* (recursion counts
+    once — real GPU register allocation treats it as one extra frame)."""
+    if func.is_declaration or func.name in seen:
+        return 0
+    depth = 0
+    for inst in func.instructions():
+        if isinstance(inst, Call):
+            callee = inst.callee
+            if callee is not None and not callee.is_declaration:
+                depth = max(
+                    depth, 1 + _call_depth(callee, module, seen | {func.name})
+                )
+    return depth
+
+
+def estimate_kernel_registers(kernel: Function, module: Module) -> int:
+    """Estimated register count for one kernel entry point."""
+    from repro.ir.callgraph import CallGraph
+
+    cg = CallGraph(module)
+    reachable = {kernel} | cg.transitive_callees(kernel)
+    peak = 0
+    for func in reachable:
+        if not func.is_declaration:
+            peak = max(peak, max_live_values(func))
+    depth = _call_depth(kernel, module)
+    return BASE_REGISTERS + peak + CALL_DEPTH_PENALTY * depth

@@ -1,0 +1,56 @@
+"""Shared fixtures and IR-construction helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    F64,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    PTR,
+    PTR_GLOBAL,
+    VOID,
+    verify_module,
+)
+
+
+@pytest.fixture
+def module():
+    return Module("test")
+
+
+@pytest.fixture
+def builder(module):
+    """A builder positioned at the entry of @f(i32 %x) -> i32."""
+    func = module.add_function(
+        Function("f", FunctionType(I32, (I32,)), arg_names=["x"])
+    )
+    entry = func.add_block("entry")
+    return IRBuilder(module, entry)
+
+
+def make_function(module, name="f", ret=I32, params=(I32,), arg_names=None):
+    """Create a function with an entry block; returns (func, builder)."""
+    func = module.add_function(
+        Function(name, FunctionType(ret, tuple(params)), arg_names=arg_names)
+    )
+    entry = func.add_block("entry")
+    return func, IRBuilder(module, entry)
+
+
+def make_kernel(module, name="kern", params=(PTR_GLOBAL, I64), arg_names=None):
+    """Create a kernel function with an entry block."""
+    func, b = make_function(module, name, VOID, params, arg_names)
+    func.attrs.add("kernel")
+    return func, b
+
+
+def finish(module):
+    """Verify and return the module (used as a one-line test epilogue)."""
+    verify_module(module)
+    return module

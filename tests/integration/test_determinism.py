@@ -1,0 +1,50 @@
+"""Determinism: compilation and simulation are reproducible."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gridmini, xsbench
+from repro.frontend.driver import CompileOptions, compile_program
+from repro.ir.printer import print_module
+
+
+class TestCompilationDeterminism:
+    def test_same_program_compiles_to_same_ir(self):
+        size = xsbench.default_size()
+        a = compile_program(xsbench.build_program(size), CompileOptions(runtime="new"))
+        b = compile_program(xsbench.build_program(size), CompileOptions(runtime="new"))
+        assert print_module(a.module) == print_module(b.module)
+
+    def test_same_run_same_profile(self):
+        r1 = gridmini.run(CompileOptions(runtime="new"))
+        r2 = gridmini.run(CompileOptions(runtime="new"))
+        assert r1.profile.cycles == r2.profile.cycles
+        assert r1.profile.instructions == r2.profile.instructions
+        assert r1.profile.registers == r2.profile.registers
+
+    def test_cuda_path_deterministic_too(self):
+        r1 = gridmini.run(CompileOptions(mode="cuda"))
+        r2 = gridmini.run(CompileOptions(mode="cuda"))
+        assert r1.profile.cycles == r2.profile.cycles
+
+
+class TestCrossBuildNumericalAgreement:
+    def test_openmp_and_cuda_bitwise_equal_outputs(self):
+        """Same arithmetic order => identical floating point results."""
+        import numpy as np
+        from repro.vgpu import VirtualGPU
+
+        size = {"n_sites": 64}
+        program = gridmini.build_program(size)
+        outputs = {}
+        for mode, options in (
+            ("omp", CompileOptions(runtime="new")),
+            ("cuda", CompileOptions(mode="cuda")),
+        ):
+            compiled = compile_program(program, options)
+            gpu = VirtualGPU(compiled.module)
+            host_args, _ = gridmini.prepare(gpu, size)
+            args = compiled.abi(gridmini.KERNEL).marshal(gpu, host_args)
+            gpu.launch(gridmini.KERNEL, args, 2, 32)
+            outputs[mode] = gpu.read_array(host_args["out"], np.float64, 64 * 4)
+        assert np.array_equal(outputs["omp"], outputs["cuda"])

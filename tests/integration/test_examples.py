@@ -1,0 +1,59 @@
+"""The example scripts must run end-to-end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "near-zero-overhead" in out
+        assert "CUDA" in out
+
+    def test_debugging_workflow(self, capsys):
+        run_example("debugging_workflow.py")
+        out = capsys.readouterr().out
+        assert "device trap" in out
+        assert "traced" in out
+
+    def test_inspect_optimizations(self, capsys):
+        run_example("inspect_optimizations.py")
+        out = capsys.readouterr().out
+        assert "optimization remarks" in out
+        assert "define" in out  # final IR printed
+
+    def test_ablation_study(self, capsys):
+        run_example("ablation_study.py", ["minifmm"])
+        out = capsys.readouterr().out
+        assert "no barrier elim (IV-D)" in out
+
+    def test_ablation_study_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            run_example("ablation_study.py", ["nope"])
+
+    def test_ir_playground(self, capsys):
+        run_example("ir_playground.py")
+        out = capsys.readouterr().out
+        assert "smem=0B" in out
+        assert "Fig. 7b/8b" in out
+
+    def test_proxy_app_tour_single_app(self, capsys):
+        run_example("proxy_app_tour.py", ["gridmini"])
+        out = capsys.readouterr().out
+        assert "GFlops" in out
+        assert "verified" in out

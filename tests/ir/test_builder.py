@@ -1,0 +1,132 @@
+"""IRBuilder conveniences and create-time folding."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    F64,
+    I1,
+    I32,
+    I64,
+    Module,
+    PTR,
+    StructType,
+    VOID,
+    verify_module,
+)
+from repro.ir.instructions import BinOp, PtrAdd
+from repro.memory.layout import DATA_LAYOUT
+from tests.conftest import make_function
+
+
+class TestCreateTimeFolding:
+    def test_const_const_folds(self, builder):
+        v = builder.add(builder.i32(2), builder.i32(3))
+        assert isinstance(v, Constant) and v.value == 5
+
+    def test_add_zero_identity(self, builder):
+        x = builder.function.args[0]
+        assert builder.add(x, 0) is x
+        assert builder.add(0, x) is x
+
+    def test_mul_identities(self, builder):
+        x = builder.function.args[0]
+        assert builder.mul(x, 1) is x
+        zero = builder.mul(x, 0)
+        assert isinstance(zero, Constant) and zero.value == 0
+
+    def test_non_foldable_creates_instruction(self, builder):
+        x = builder.function.args[0]
+        v = builder.add(x, 5)
+        assert isinstance(v, BinOp)
+        assert v.parent is builder.block
+
+    def test_icmp_const_folds(self, builder):
+        v = builder.icmp("slt", builder.i32(1), builder.i32(2))
+        assert isinstance(v, Constant) and v.type == I1 and v.value == 1
+
+    def test_select_const_cond(self, builder):
+        x = builder.function.args[0]
+        y = builder.add(x, 5)
+        assert builder.select(builder.i1(True), x, y) is x
+        assert builder.select(builder.i1(False), x, y) is y
+
+    def test_cast_noop_elided(self, builder):
+        x = builder.function.args[0]
+        assert builder.zext(x, I32) is x
+
+    def test_cast_const_folds(self, builder):
+        v = builder.sext(Constant(I32, -1), I64)
+        assert isinstance(v, Constant) and v.signed() == -1
+
+    def test_ptradd_zero_elided(self, module):
+        func, b = make_function(module, params=(PTR,))
+        assert b.ptradd(func.args[0], 0) is func.args[0]
+
+
+class TestAddressHelpers:
+    def test_gep_uses_layout_offset(self, module):
+        sty = StructType("S", (("a", I32), ("b", F64)))
+        func, b = make_function(module, params=(PTR,))
+        p = b.gep(func.args[0], sty, "b")
+        assert isinstance(p, PtrAdd)
+        assert p.offset.value == DATA_LAYOUT.field_offset(sty, "b")
+
+    def test_array_gep_constant_index(self, module):
+        func, b = make_function(module, params=(PTR,))
+        p = b.array_gep(func.args[0], F64, 3)
+        assert isinstance(p, PtrAdd) and p.offset.value == 24
+
+    def test_array_gep_dynamic_index(self, module):
+        func, b = make_function(module, params=(PTR, I64), arg_names=["p", "i"])
+        p = b.array_gep(func.args[0], F64, func.args[1])
+        assert isinstance(p, PtrAdd)
+
+    def test_array_gep_widens_i32_index(self, module):
+        func, b = make_function(module, params=(PTR, I32), arg_names=["p", "i"])
+        p = b.array_gep(func.args[0], F64, func.args[1])
+        assert isinstance(p, PtrAdd)
+        assert p.offset.type == I64
+
+
+class TestControlFlowBuilding:
+    def test_phi_inserted_at_top(self, module):
+        func, b = make_function(module)
+        v = b.add(func.args[0], 1)
+        phi = b.phi(I32, "p")
+        assert func.entry.instructions[0] is phi
+        b.ret(v)
+
+    def test_store_rejects_python_numbers(self, module):
+        func, b = make_function(module, params=(PTR,))
+        with pytest.raises(TypeError):
+            b.store(3, func.args[0])
+
+    def test_intrinsic_declares_once(self, module):
+        func, b = make_function(module)
+        b.thread_id()
+        b.thread_id()
+        assert "gpu.thread_id" in module.functions
+        b.ret(func.args[0])
+        verify_module(module)
+
+    def test_assume_builds_i1(self, module):
+        func, b = make_function(module)
+        b.assume(b.icmp("eq", func.args[0], b.i32(0)))
+        b.ret(func.args[0])
+        verify_module(module)
+
+
+class TestCoercion:
+    def test_pair_coercion_int_literal(self, builder):
+        x = builder.function.args[0]  # i32
+        v = builder.add(x, 7)
+        assert isinstance(v, BinOp)
+        assert v.rhs.type == I32
+
+    def test_float_helpers(self, module):
+        func, b = make_function(module, ret=F64, params=(F64,))
+        v = b.fmul(func.args[0], 2.0)
+        assert v.type == F64
+        b.ret(v)
+        verify_module(module)

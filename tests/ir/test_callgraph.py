@@ -1,0 +1,91 @@
+"""Call graph construction, recursion and address-taken tracking."""
+
+from repro.ir import CallGraph, Function, FunctionType, I32, Module, PTR, VOID
+from tests.conftest import make_function, make_kernel
+
+
+def build_chain(module):
+    """kernel -> a -> b; c is unreachable; b passed as fn-ptr to a."""
+    b_fn, bb = make_function(module, "b", ret=VOID, params=())
+    bb.ret()
+    a_fn, ab = make_function(module, "a", ret=VOID, params=())
+    ab.call(b_fn, [])
+    ab.ret()
+    c_fn, cb = make_function(module, "c", ret=VOID, params=())
+    cb.ret()
+    kern, kb = make_kernel(module, params=())
+    kb.call(a_fn, [])
+    kb.ret()
+    return kern, a_fn, b_fn, c_fn
+
+
+class TestCallGraph:
+    def test_edges(self, module):
+        kern, a, b, c = build_chain(module)
+        cg = CallGraph(module)
+        assert cg.callees(kern) == {a}
+        assert cg.callers(b) == {a}
+        assert cg.callees(c) == set()
+
+    def test_transitive(self, module):
+        kern, a, b, c = build_chain(module)
+        cg = CallGraph(module)
+        assert cg.transitive_callees(kern) == {a, b}
+        assert cg.transitive_callers(b) == {a, kern}
+
+    def test_reachable_from_kernels(self, module):
+        kern, a, b, c = build_chain(module)
+        cg = CallGraph(module)
+        reached = cg.reachable_from_kernels()
+        assert {kern, a, b} <= reached
+        assert c not in reached
+
+    def test_direct_recursion(self, module):
+        f, fb = make_function(module, "rec", ret=VOID, params=())
+        fb.call(f, [])
+        fb.ret()
+        cg = CallGraph(module)
+        assert cg.is_recursive(f)
+
+    def test_mutual_recursion(self, module):
+        f = module.add_function(Function("f", FunctionType(VOID, ())))
+        g = module.add_function(Function("g", FunctionType(VOID, ())))
+        from repro.ir import IRBuilder
+
+        fb = IRBuilder(module, f.add_block("entry"))
+        fb.call(g, [])
+        fb.ret()
+        gb = IRBuilder(module, g.add_block("entry"))
+        gb.call(f, [])
+        gb.ret()
+        cg = CallGraph(module)
+        assert cg.is_recursive(f) and cg.is_recursive(g)
+
+    def test_non_recursive(self, module):
+        kern, a, b, c = build_chain(module)
+        cg = CallGraph(module)
+        assert not cg.is_recursive(a)
+
+    def test_address_taken_via_call_argument(self, module):
+        body, bb = make_function(module, "body", ret=VOID, params=())
+        bb.ret()
+        runtime = module.declare("rt_loop", FunctionType(VOID, (PTR,)))
+        kern, kb = make_kernel(module, params=())
+        kb.call(runtime, [body])
+        kb.ret()
+        cg = CallGraph(module)
+        assert body in cg.address_taken
+        assert cg.has_unknown_callers(body)
+        assert body in cg.reachable_from_kernels()
+
+    def test_call_sites(self, module):
+        kern, a, b, c = build_chain(module)
+        cg = CallGraph(module)
+        assert len(cg.call_sites(kern, a)) == 1
+        assert len(cg.all_call_sites_of(b)) == 1
+
+    def test_bottom_up_order(self, module):
+        kern, a, b, c = build_chain(module)
+        cg = CallGraph(module)
+        order = cg.bottom_up_order()
+        assert order.index(b) < order.index(a) < order.index(kern)

@@ -1,0 +1,205 @@
+"""Dominators, reverse post-order and reachability (with property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Function, FunctionType, I32, IRBuilder, Module, VOID
+from repro.ir.cfg import (
+    DominatorTree,
+    block_can_reach,
+    instruction_can_reach,
+    predecessors,
+    reachable_blocks,
+    reverse_post_order,
+)
+from tests.conftest import make_function
+
+
+def diamond(module):
+    """entry -> (then|else) -> merge; returns (func, blocks)."""
+    func, b = make_function(module)
+    then = func.add_block("then")
+    els = func.add_block("else")
+    merge = func.add_block("merge")
+    cond = b.icmp("eq", func.args[0], b.i32(0))
+    b.cond_br(cond, then, els)
+    b.set_insert_point(then)
+    b.br(merge)
+    b.set_insert_point(els)
+    b.br(merge)
+    b.set_insert_point(merge)
+    b.ret(func.args[0])
+    return func, (func.entry, then, els, merge)
+
+
+def loop(module):
+    """entry -> header <-> body, header -> exit."""
+    func, b = make_function(module)
+    header = func.add_block("header")
+    body = func.add_block("body")
+    exit_ = func.add_block("exit")
+    b.br(header)
+    b.set_insert_point(header)
+    cond = b.icmp("slt", func.args[0], b.i32(10))
+    b.cond_br(cond, body, exit_)
+    b.set_insert_point(body)
+    b.br(header)
+    b.set_insert_point(exit_)
+    b.ret(func.args[0])
+    return func, (func.entry, header, body, exit_)
+
+
+class TestRPO:
+    def test_entry_first(self, module):
+        func, (entry, then, els, merge) = diamond(module)
+        rpo = reverse_post_order(func)
+        assert rpo[0] is entry
+        assert rpo[-1] is merge
+
+    def test_dominator_precedes_dominatee(self, module):
+        func, (entry, header, body, exit_) = loop(module)
+        rpo = reverse_post_order(func)
+        assert rpo.index(entry) < rpo.index(header) < rpo.index(body)
+
+    def test_unreachable_excluded(self, module):
+        func, b = make_function(module)
+        b.ret(func.args[0])
+        dead = func.add_block("dead")
+        b.set_insert_point(dead)
+        b.ret(func.args[0])
+        assert dead not in reverse_post_order(func)
+        assert dead not in reachable_blocks(func)
+
+
+class TestDominators:
+    def test_diamond(self, module):
+        func, (entry, then, els, merge) = diamond(module)
+        dom = DominatorTree(func)
+        assert dom.dominates_block(entry, merge)
+        assert not dom.dominates_block(then, merge)
+        assert not dom.dominates_block(then, els)
+        assert dom.idom[merge] is entry
+        assert dom.idom[then] is entry
+        assert dom.idom[entry] is None
+
+    def test_loop(self, module):
+        func, (entry, header, body, exit_) = loop(module)
+        dom = DominatorTree(func)
+        assert dom.dominates_block(header, body)
+        assert dom.dominates_block(header, exit_)
+        assert not dom.dominates_block(body, exit_)
+
+    def test_instruction_dominance_same_block(self, module):
+        func, b = make_function(module)
+        v1 = b.add(func.args[0], 1)
+        v2 = b.add(v1, 2)
+        b.ret(v2)
+        dom = DominatorTree(func)
+        assert dom.dominates(v1, v2)
+        assert not dom.dominates(v2, v1)
+
+    def test_reflexive_block_dominance(self, module):
+        func, (entry, *_rest) = diamond(module)
+        dom = DominatorTree(func)
+        assert dom.dominates_block(entry, entry)
+
+    def test_domination_is_transitive_property(self, module):
+        """idom chains form a tree: every reachable block's idom chain
+        ends at the entry."""
+        func, blocks = loop(module)
+        dom = DominatorTree(func)
+        for block in reachable_blocks(func):
+            runner = block
+            steps = 0
+            while dom.idom.get(runner) is not None:
+                runner = dom.idom[runner]
+                steps += 1
+                assert steps <= len(func.blocks)
+            assert runner is func.entry
+
+
+class TestReachability:
+    def test_forward_only(self, module):
+        func, (entry, then, els, merge) = diamond(module)
+        assert block_can_reach(entry, merge)
+        assert not block_can_reach(merge, entry)
+        assert not block_can_reach(then, els)
+
+    def test_loop_reaches_itself(self, module):
+        func, (entry, header, body, exit_) = loop(module)
+        assert block_can_reach(body, body)
+        assert block_can_reach(header, header)
+        assert not block_can_reach(exit_, exit_)
+
+    def test_instruction_reachability_in_block(self, module):
+        func, b = make_function(module)
+        v1 = b.add(func.args[0], 1)
+        v2 = b.add(v1, 2)
+        b.ret(v2)
+        assert instruction_can_reach(v1, v2)
+        assert not instruction_can_reach(v2, v1)
+
+    def test_instruction_reachability_through_loop(self, module):
+        func, (entry, header, body, exit_) = loop(module)
+        header_inst = header.instructions[0]
+        body_inst = body.instructions[0]
+        assert instruction_can_reach(header_inst, body_inst)
+        assert instruction_can_reach(body_inst, header_inst)  # via back edge
+
+
+@st.composite
+def random_cfg(draw):
+    """Build a random single-entry CFG and return (module, func)."""
+    module = Module("rand")
+    func, b = make_function(module)
+    n_blocks = draw(st.integers(min_value=1, max_value=8))
+    blocks = [func.entry] + [func.add_block(f"b{i}") for i in range(n_blocks)]
+    builder = IRBuilder(module)
+    for i, block in enumerate(blocks):
+        builder.set_insert_point(block)
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            builder.ret(func.args[0])
+        elif kind == 1:
+            target = blocks[draw(st.integers(0, len(blocks) - 1))]
+            builder.br(target)
+        else:
+            cond = builder.icmp("eq", func.args[0], builder.i32(i))
+            t = blocks[draw(st.integers(0, len(blocks) - 1))]
+            f = blocks[draw(st.integers(0, len(blocks) - 1))]
+            builder.cond_br(cond, t, f)
+    return module, func
+
+
+class TestDominatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_cfg())
+    def test_entry_dominates_all_reachable(self, cfg):
+        _, func = cfg
+        dom = DominatorTree(func)
+        for block in reachable_blocks(func):
+            assert dom.dominates_block(func.entry, block)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_cfg())
+    def test_idom_dominates_all_preds_paths(self, cfg):
+        """The immediate dominator of B must appear on every path to B —
+        check it dominates every reachable predecessor of B."""
+        _, func = cfg
+        dom = DominatorTree(func)
+        reachable = reachable_blocks(func)
+        preds = predecessors(func)
+        for block in reachable:
+            idom = dom.idom.get(block)
+            if idom is None:
+                continue
+            for pred in preds[block]:
+                if pred in reachable:
+                    assert dom.dominates_block(idom, pred) or idom is block
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_cfg())
+    def test_rpo_covers_exactly_reachable(self, cfg):
+        _, func = cfg
+        assert set(reverse_post_order(func)) == reachable_blocks(func)

@@ -1,0 +1,63 @@
+"""Intrinsic registry invariants."""
+
+import pytest
+
+from repro.ir import Module, declare_intrinsic, intrinsic_info, is_intrinsic
+from repro.ir.intrinsics import all_intrinsics
+
+
+class TestRegistry:
+    def test_barriers_classified(self):
+        aligned = intrinsic_info("gpu.barrier.aligned")
+        generic = intrinsic_info("gpu.barrier")
+        assert aligned.is_barrier and aligned.aligned
+        assert generic.is_barrier and not generic.aligned
+        assert generic.cost > aligned.cost  # generic barriers are heavier
+
+    def test_invariance_classes(self):
+        assert intrinsic_info("gpu.block_dim").invariance == "grid"
+        assert intrinsic_info("gpu.block_id").invariance == "team"
+        assert intrinsic_info("gpu.thread_id").invariance == "thread"
+
+    def test_warp_size_is_compile_time_constant(self):
+        assert intrinsic_info("gpu.warp_size").constant_result == 32
+
+    def test_assume_is_free(self):
+        info = intrinsic_info("llvm.assume")
+        assert info.cost == 0 and info.readnone
+
+    def test_unknown_name(self):
+        assert intrinsic_info("gpu.frobnicate") is None
+        assert not is_intrinsic("gpu.frobnicate")
+
+    def test_declare_sets_attributes(self):
+        module = Module()
+        barrier = declare_intrinsic(module, "gpu.barrier.aligned")
+        assert "convergent" in barrier.attrs
+        assert "ext_aligned_barrier" in barrier.assumptions
+        sqrt = declare_intrinsic(module, "llvm.sqrt.f64")
+        assert "readnone" in sqrt.attrs
+
+    def test_declare_unknown_raises(self):
+        with pytest.raises(KeyError):
+            declare_intrinsic(Module(), "not.a.thing")
+
+    def test_declare_idempotent(self):
+        module = Module()
+        a = declare_intrinsic(module, "malloc")
+        b = declare_intrinsic(module, "malloc")
+        assert a is b
+
+    def test_every_intrinsic_consistent(self):
+        for info in all_intrinsics():
+            # A barrier is an effect; readnone things have no effects.
+            if info.is_barrier:
+                assert info.side_effects
+            if info.readnone:
+                assert not info.is_barrier
+            assert info.cost >= 0
+
+    def test_math_intrinsics_cover_both_widths(self):
+        for op in ("sqrt", "exp", "log", "sin", "cos", "fabs", "pow"):
+            assert is_intrinsic(f"llvm.{op}.f64")
+            assert is_intrinsic(f"llvm.{op}.f32")

@@ -1,0 +1,76 @@
+"""Textual IR rendering."""
+
+from repro.memory.addrspace import AddressSpace
+from repro.ir import (
+    F64,
+    GlobalVariable,
+    I32,
+    I64,
+    Module,
+    PTR,
+    StructType,
+    print_function,
+    print_module,
+)
+from tests.conftest import make_function, make_kernel
+
+
+class TestPrinter:
+    def test_function_header(self, module):
+        func, b = make_function(module, name="foo")
+        b.ret(func.args[0])
+        text = print_function(func)
+        assert "define i32 @foo(i32 %x)" in text or "define i32 @foo(i32 %arg0)" in text
+
+    def test_declaration(self, module):
+        from repro.ir import FunctionType, VOID
+
+        module.declare("ext", FunctionType(VOID, (I32,)))
+        text = print_module(module)
+        assert "declare void @ext(i32" in text
+
+    def test_unique_names_for_clashing_values(self, module):
+        func, b = make_function(module)
+        v1 = b.add(func.args[0], 1, "v")
+        v2 = b.add(func.args[0], 2, "v")
+        v3 = b.add(v1, v2)
+        b.ret(v3)
+        text = print_function(func)
+        assert "%v =" in text and "%v.1 =" in text
+
+    def test_instruction_name_does_not_shadow_argument(self, module):
+        func, b = make_function(module, arg_names=["x"])
+        v = b.add(func.args[0], 1, "x")
+        b.ret(v)
+        text = print_function(func)
+        assert "%x.1 = add i32 %x, 1" in text
+
+    def test_globals_render_with_addrspace(self, module):
+        module.add_global(GlobalVariable("state", I32, addrspace=AddressSpace.SHARED))
+        text = print_module(module)
+        assert "@state = internal addrspace(3) global i32 zeroinitializer" in text
+
+    def test_struct_types_rendered(self, module):
+        module.add_struct_type(StructType("Pair", (("a", I32), ("b", F64))))
+        text = print_module(module)
+        assert "%Pair = type { i32 a, double b }" in text
+
+    def test_full_kernel_smoke(self, module):
+        func, b = make_kernel(module, params=(PTR, I64), arg_names=["p", "n"])
+        loop = func.add_block("loop")
+        exit_ = func.add_block("exit")
+        b.br(loop)
+        b.set_insert_point(loop)
+        iv = b.phi(I64, "iv")
+        iv.add_incoming(b.i64(0), func.entry)
+        v = b.load(F64, b.array_gep(func.args[0], F64, iv))
+        b.store(b.fmul(v, b.f64(2.0)), b.array_gep(func.args[0], F64, iv))
+        nxt = b.add(iv, b.i64(1))
+        iv.add_incoming(nxt, loop)
+        b.cond_br(b.icmp("slt", nxt, func.args[1]), loop, exit_)
+        b.set_insert_point(exit_)
+        b.ret()
+        text = print_function(func)
+        for fragment in ("phi i64", "load double", "store double",
+                         "br %", "ret void", "kernel"):
+            assert fragment in text, fragment

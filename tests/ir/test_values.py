@@ -1,0 +1,116 @@
+"""Use-def bookkeeping, constants and globals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.addrspace import AddressSpace
+from repro.ir import (
+    BinOp,
+    Constant,
+    F64,
+    GlobalVariable,
+    I32,
+    I64,
+    UndefValue,
+)
+from repro.ir.values import const_i1, const_int, null_pointer
+
+
+class TestConstant:
+    def test_int_constants_wrap(self):
+        assert Constant(I32, -1).value == 0xFFFFFFFF
+        assert Constant(I32, 1 << 40).value == 0
+
+    def test_signed_view(self):
+        assert Constant(I32, -5).signed() == -5
+
+    def test_float_constant(self):
+        c = Constant(F64, 2)
+        assert isinstance(c.value, float) and c.value == 2.0
+
+    def test_equality_and_hash(self):
+        assert Constant(I32, 3) == Constant(I32, 3)
+        assert Constant(I32, 3) != Constant(I64, 3)
+        assert len({Constant(I32, 3), Constant(I32, 3)}) == 1
+
+    def test_null_pointer_prints_null(self):
+        assert null_pointer().short() == "null"
+        assert null_pointer().is_null
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_roundtrip(self, v):
+        assert Constant(I32, v).signed() == v
+
+    def test_bad_type_rejected(self):
+        from repro.ir.types import VOID
+
+        with pytest.raises(TypeError):
+            Constant(VOID, 0)
+
+
+class TestUseDef:
+    def test_uses_tracked_on_creation(self):
+        a = const_int(1)
+        b = const_int(2)
+        inst = BinOp("add", a, b)
+        assert a.num_uses == 1 and b.num_uses == 1
+        assert inst.operands == [a, b]
+
+    def test_same_value_used_twice(self):
+        a = const_int(1)
+        inst = BinOp("add", a, a)
+        assert a.num_uses == 2
+        assert a.users() == [inst]
+
+    def test_replace_all_uses_with(self):
+        a, b, c = const_int(1), const_int(2), const_int(3)
+        inst = BinOp("add", a, b)
+        a.replace_all_uses_with(c)
+        assert inst.lhs is c
+        assert a.num_uses == 0
+        assert c.num_uses == 1
+
+    def test_rauw_self_is_noop(self):
+        a = const_int(1)
+        inst = BinOp("add", a, a)
+        a.replace_all_uses_with(a)
+        assert a.num_uses == 2
+
+    def test_set_operand_updates_uses(self):
+        a, b, c = const_int(1), const_int(2), const_int(3)
+        inst = BinOp("add", a, b)
+        inst.set_operand(0, c)
+        assert a.num_uses == 0 and c.num_uses == 1
+
+    def test_drop_all_references(self):
+        a, b = const_int(1), const_int(2)
+        inst = BinOp("add", a, b)
+        inst.drop_all_references()
+        assert a.num_uses == 0 and b.num_uses == 0
+        assert inst.operands == []
+
+    def test_remove_missing_use_raises(self):
+        a = const_int(1)
+        inst = BinOp("add", a, const_int(2))
+        with pytest.raises(ValueError):
+            a.remove_use(inst, 5)
+
+
+class TestGlobalVariable:
+    def test_address_type_matches_space(self):
+        gv = GlobalVariable("g", I32, addrspace=AddressSpace.SHARED)
+        assert gv.type.addrspace is AddressSpace.SHARED
+        assert gv.short() == "@g"
+
+    def test_linkage_validation(self):
+        with pytest.raises(ValueError):
+            GlobalVariable("g", I32, linkage="bogus")
+
+    def test_internal_by_default(self):
+        assert GlobalVariable("g", I32).has_internal_linkage
+
+    def test_undef_value(self):
+        u = UndefValue(I32)
+        assert u.short() == "undef"
+        assert const_i1(True).value == 1

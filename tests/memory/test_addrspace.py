@@ -1,0 +1,54 @@
+"""Tagged-pointer encoding and address-space properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.addrspace import (
+    OFFSET_MASK,
+    AddressSpace,
+    make_pointer,
+    pointer_offset,
+    pointer_space,
+)
+
+spaces = st.sampled_from(list(AddressSpace))
+offsets = st.integers(min_value=0, max_value=OFFSET_MASK)
+
+
+class TestPointerEncoding:
+    @given(spaces, offsets)
+    def test_roundtrip(self, space, offset):
+        ptr = make_pointer(space, offset)
+        assert pointer_space(ptr) is space
+        assert pointer_offset(ptr) == offset
+
+    @given(spaces, offsets, st.integers(min_value=0, max_value=1 << 20))
+    def test_arithmetic_preserves_space(self, space, offset, delta):
+        if offset + delta > OFFSET_MASK:
+            delta = 0
+        ptr = make_pointer(space, offset) + delta
+        assert pointer_space(ptr) is space
+        assert pointer_offset(ptr) == offset + delta
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_pointer(AddressSpace.GLOBAL, -1)
+        with pytest.raises(ValueError):
+            make_pointer(AddressSpace.GLOBAL, OFFSET_MASK + 1)
+
+
+class TestSpaceProperties:
+    def test_locality_flags(self):
+        assert AddressSpace.SHARED.is_team_local
+        assert not AddressSpace.SHARED.is_thread_local
+        assert AddressSpace.LOCAL.is_thread_local
+        assert not AddressSpace.GLOBAL.is_team_local
+
+    def test_short_names(self):
+        assert AddressSpace.GLOBAL.short_name == "global"
+        assert AddressSpace.SHARED.short_name == "shared"
+
+    def test_nvptx_numbering(self):
+        assert int(AddressSpace.SHARED) == 3
+        assert int(AddressSpace.LOCAL) == 5

@@ -1,0 +1,90 @@
+"""DataLayout: sizes, alignment, struct offsets."""
+
+import pytest
+
+from repro.memory.layout import DATA_LAYOUT, DataLayout
+from repro.ir.types import (
+    ArrayType,
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    StructType,
+    VOID,
+)
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert DATA_LAYOUT.size_of(I1) == 1
+        assert DATA_LAYOUT.size_of(I8) == 1
+        assert DATA_LAYOUT.size_of(I16) == 2
+        assert DATA_LAYOUT.size_of(I32) == 4
+        assert DATA_LAYOUT.size_of(I64) == 8
+        assert DATA_LAYOUT.size_of(F32) == 4
+        assert DATA_LAYOUT.size_of(F64) == 8
+        assert DATA_LAYOUT.size_of(PTR) == 8
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            DATA_LAYOUT.size_of(VOID)
+
+
+class TestStructLayout:
+    def test_natural_alignment_with_padding(self):
+        # C ABI: i32 at 0, f64 padded to 8, total 16.
+        sty = StructType("S", (("a", I32), ("b", F64)))
+        layout = DATA_LAYOUT.struct_layout(sty)
+        assert layout.offsets == (0, 8)
+        assert layout.size == 16
+        assert layout.align == 8
+
+    def test_tail_padding(self):
+        sty = StructType("T", (("a", F64), ("b", I32)))
+        layout = DATA_LAYOUT.struct_layout(sty)
+        assert layout.offsets == (0, 8)
+        assert layout.size == 16  # rounded up to align 8
+
+    def test_packed_small_fields(self):
+        sty = StructType("U", (("a", I8), ("b", I8), ("c", I16)))
+        layout = DATA_LAYOUT.struct_layout(sty)
+        assert layout.offsets == (0, 1, 2)
+        assert layout.size == 4
+
+    def test_nested_struct(self):
+        inner = StructType("Inner", (("x", I32), ("y", I32)))
+        outer = StructType("Outer", (("p", I8), ("q", inner)))
+        layout = DATA_LAYOUT.struct_layout(outer)
+        assert layout.offsets == (0, 4)
+        assert layout.size == 12
+
+    def test_field_offset_by_name(self):
+        sty = StructType("S", (("a", I32), ("b", F64)))
+        assert DATA_LAYOUT.field_offset(sty, "b") == 8
+
+    def test_empty_struct(self):
+        sty = StructType("E", ())
+        assert DATA_LAYOUT.size_of(sty) == 0
+
+    def test_layout_cached(self):
+        dl = DataLayout()
+        sty = StructType("S", (("a", I32),))
+        assert dl.struct_layout(sty) is dl.struct_layout(sty)
+
+
+class TestArrays:
+    def test_array_size(self):
+        assert DATA_LAYOUT.size_of(ArrayType(F64, 10)) == 80
+        assert DATA_LAYOUT.size_of(ArrayType(I8, 3)) == 3
+
+    def test_element_offset(self):
+        ty = ArrayType(I32, 8)
+        assert DATA_LAYOUT.element_offset(ty, 3) == 12
+
+    def test_array_of_structs(self):
+        sty = StructType("S", (("a", I32), ("b", F64)))
+        assert DATA_LAYOUT.size_of(ArrayType(sty, 4)) == 64

@@ -1,0 +1,133 @@
+"""Simulated memory segments and scalar encoding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.addrspace import AddressSpace, make_pointer
+from repro.memory.memmodel import (
+    MemoryError_,
+    MemorySystem,
+    Segment,
+    decode_scalar,
+    encode_scalar,
+    scalar_size,
+)
+from repro.ir.types import F32, F64, I8, I16, I32, I64, IntType, PTR
+
+
+class TestScalarCodec:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_i32_roundtrip(self, v):
+        assert decode_scalar(encode_scalar(v, I32), I32) == v
+
+    @given(st.floats(allow_nan=False, allow_infinity=True, width=64))
+    def test_f64_roundtrip(self, v):
+        assert decode_scalar(encode_scalar(v, F64), F64) == v
+
+    def test_f64_nan_roundtrip(self):
+        out = decode_scalar(encode_scalar(float("nan"), F64), F64)
+        assert math.isnan(out)
+
+    @given(st.sampled_from([I8, I16, I32, I64]), st.integers())
+    def test_int_wraps_to_width(self, ty, v):
+        raw = encode_scalar(v, ty)
+        assert len(raw) == scalar_size(ty)
+        assert decode_scalar(raw, ty) == ty.wrap(v)
+
+    def test_pointer_encoding(self):
+        ptr = make_pointer(AddressSpace.SHARED, 0x1234)
+        assert decode_scalar(encode_scalar(ptr, PTR), PTR) == ptr
+
+    def test_little_endian(self):
+        assert encode_scalar(0x01020304, I32) == bytes([4, 3, 2, 1])
+
+
+class TestSegment:
+    def test_zero_initialized(self):
+        seg = Segment(AddressSpace.GLOBAL, 1024)
+        assert seg.read_bytes(100, 8) == b"\x00" * 8
+
+    def test_allocate_is_aligned(self):
+        seg = Segment(AddressSpace.GLOBAL, 1024)
+        seg.allocate(3, align=1)
+        ptr = seg.allocate(8, align=8)
+        from repro.memory.addrspace import pointer_offset
+
+        assert pointer_offset(ptr) % 8 == 0
+
+    def test_exhaustion(self):
+        seg = Segment(AddressSpace.SHARED, 64)
+        with pytest.raises(MemoryError_):
+            seg.allocate(1024)
+
+    def test_bounds_checked(self):
+        seg = Segment(AddressSpace.GLOBAL, 64)
+        with pytest.raises(MemoryError_):
+            seg.read_bytes(60, 8)
+        with pytest.raises(MemoryError_):
+            seg.write_bytes(-1, b"x")
+
+    def test_write_read(self):
+        seg = Segment(AddressSpace.GLOBAL, 64)
+        seg.write_bytes(8, b"hello")
+        assert seg.read_bytes(8, 5) == b"hello"
+
+
+class TestMemorySystem:
+    def test_shared_segments_are_per_team(self):
+        mem = MemorySystem()
+        ptr = mem.reserve_shared_layout(8)
+        mem.store(ptr, 111, I64, team=0)
+        mem.store(ptr, 222, I64, team=1)
+        assert mem.load(ptr, I64, team=0) == 111
+        assert mem.load(ptr, I64, team=1) == 222
+
+    def test_local_segments_are_per_thread(self):
+        mem = MemorySystem()
+        seg0 = mem.local_segment(0, 0)
+        seg1 = mem.local_segment(0, 1)
+        ptr0 = seg0.allocate(8)
+        seg1.allocate(8)
+        mem.store(ptr0, 5, I64, team=0, thread=0)
+        assert mem.load(ptr0, I64, team=0, thread=0) == 5
+        assert mem.load(ptr0, I64, team=0, thread=1) == 0
+
+    def test_global_visible_everywhere(self):
+        mem = MemorySystem()
+        ptr = mem.malloc(16)
+        mem.store(ptr, 3.5, F64, team=0, thread=0)
+        assert mem.load(ptr, F64, team=7, thread=3) == 3.5
+
+    def test_null_dereference_rejected(self):
+        mem = MemorySystem()
+        with pytest.raises(MemoryError_):
+            mem.load(make_pointer(AddressSpace.GLOBAL, 0), I32)
+
+    def test_memset_memcpy(self):
+        mem = MemorySystem()
+        a = mem.malloc(16)
+        b = mem.malloc(16)
+        mem.memset(a, 0xAB, 16)
+        mem.memcpy(b, a, 16)
+        assert mem.read_raw(b, 16) == b"\xab" * 16
+
+    def test_reserve_shared_layout_applies_to_existing_teams(self):
+        mem = MemorySystem()
+        mem.shared_segment(0)  # create team segment first
+        ptr = mem.reserve_shared_layout(64)
+        seg = mem.shared_segment(0)
+        # Dynamic allocation must not overlap the reserved region.
+        dyn = seg.allocate(8)
+        from repro.memory.addrspace import pointer_offset
+
+        assert pointer_offset(dyn) >= pointer_offset(ptr) + 64
+
+    def test_free_is_bookkeeping_only(self):
+        mem = MemorySystem()
+        ptr = mem.malloc(8)
+        mem.store(ptr, 7, I64)
+        mem.free(ptr)
+        assert mem.load(ptr, I64) == 7  # space not recycled

@@ -1,0 +1,164 @@
+"""Aligned barrier elimination (§IV-D)."""
+
+import pytest
+
+from repro.memory.addrspace import AddressSpace
+from repro.ir import GlobalVariable, I32, I64, PTR_GLOBAL
+from repro.passes.barrier_elim import BarrierEliminationPass
+from repro.passes.pass_manager import PassContext, PipelineConfig
+from tests.conftest import make_function, make_kernel
+
+
+def run(module, **kw):
+    ctx = PassContext(config=PipelineConfig(**kw))
+    BarrierEliminationPass().run(module, ctx)
+    return ctx
+
+
+def count_barriers(func, aligned_only=False):
+    from repro.passes.barrier_elim import _is_aligned_barrier, _is_any_barrier
+
+    pred = _is_aligned_barrier if aligned_only else _is_any_barrier
+    return sum(1 for i in func.instructions() if pred(i))
+
+
+class TestConsecutiveBarriers:
+    def test_back_to_back_aligned_dedup(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])  # keeps entry barrier "real"
+        b.aligned_barrier()
+        b.aligned_barrier()
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 1
+
+    def test_thread_local_effects_between_are_fine(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.aligned_barrier()
+        slot = b.alloca(I64)
+        b.store(b.i64(3), slot)  # thread-private
+        b.load(I64, slot)
+        b.aligned_barrier()
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 1
+
+    def test_team_visible_store_blocks_elimination(self, module):
+        gv = module.add_global(GlobalVariable("s", I32, addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.aligned_barrier()
+        b.store(b.i32(1), gv)  # team-visible
+        b.aligned_barrier()
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 2
+
+    def test_unaligned_barriers_never_removed(self, module):
+        func, b = make_kernel(module, params=())
+        b.barrier()
+        b.barrier()
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 2
+
+    def test_unaligned_between_blocks_reasoning(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.aligned_barrier()
+        b.barrier()  # generic barrier separates the aligned pair
+        b.aligned_barrier()
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module)
+        assert count_barriers(func, aligned_only=True) == 2
+
+
+class TestImplicitKernelBarriers:
+    def test_barrier_at_kernel_entry_removed(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.aligned_barrier()
+        b.store(b.i64(1), func.args[0])
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 0
+
+    def test_barrier_at_kernel_exit_removed(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.aligned_barrier()
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 0
+
+    def test_non_kernel_functions_have_no_implicit_barriers(self, module):
+        func, b = make_function(module, ret=I32, params=(I32,))
+        b.aligned_barrier()
+        b.ret(func.args[0])
+        run(module)
+        assert count_barriers(func) == 1
+
+    def test_barrier_with_preceding_effect_kept_at_entry(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.aligned_barrier()
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module)
+        assert count_barriers(func) == 1
+
+
+class TestAlignedExecInteraction:
+    def test_alloca_stores_block_when_ivc_disabled(self, module):
+        """Without §IV-C, private stores cannot be classified thread-local."""
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.aligned_barrier()
+        slot = b.alloca(I64)
+        b.store(b.i64(3), slot)
+        b.aligned_barrier()
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module, enable_aligned_exec=False)
+        assert count_barriers(func) == 2
+
+    def test_disabled_entirely_by_flag(self, module):
+        func, b = make_kernel(module, params=())
+        b.aligned_barrier()
+        b.aligned_barrier()
+        b.ret()
+        run(module, enable_barrier_elim=False)
+        assert count_barriers(func) == 2
+
+
+class TestAnnotatedBarrierFunctions:
+    def test_function_with_aligned_assumption_eliminable(self, module):
+        """Fig. 6: ext_aligned_barrier-annotated wrappers count as
+        aligned barriers even before inlining."""
+        from repro.ir import Function, FunctionType, VOID
+
+        wrapper = module.add_function(Function("syncThreadsAligned", FunctionType(VOID, ())))
+        wrapper.assumptions.add("ext_aligned_barrier")
+        wrapper.assumptions.add("ext_no_call_asm")
+        from repro.ir import IRBuilder
+
+        wb = IRBuilder(module, wrapper.add_block("entry"))
+        wb.aligned_barrier()
+        wb.ret()
+
+        func, b = make_kernel(module, params=(PTR_GLOBAL,))
+        b.store(b.i64(1), func.args[0])
+        b.call(wrapper, [])
+        b.call(wrapper, [])
+        b.store(b.i64(2), func.args[0])
+        b.ret()
+        run(module)
+        from repro.ir.instructions import Call
+
+        calls = [i for i in func.instructions()
+                 if isinstance(i, Call) and i.callee is wrapper]
+        assert len(calls) == 1

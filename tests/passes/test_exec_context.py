@@ -1,0 +1,137 @@
+"""Guard/uniformity analysis (§IV-C)."""
+
+from repro.ir import I32
+from repro.passes.exec_context import (
+    block_is_single_thread,
+    block_is_thread_divergent,
+    compute_block_guards,
+    is_thread_dependent_guard,
+)
+from tests.conftest import make_function, make_kernel
+
+
+class TestGuards:
+    def test_entry_is_unguarded(self, module):
+        func, b = make_kernel(module, params=())
+        b.ret()
+        guards = compute_block_guards(func)
+        assert guards[func.entry] == frozenset()
+
+    def test_then_branch_guarded(self, module):
+        func, b = make_kernel(module, params=(I32,))
+        then = func.add_block("then")
+        merge = func.add_block("merge")
+        cond = b.icmp("eq", func.args[0], b.i32(0))
+        b.cond_br(cond, then, merge)
+        b.set_insert_point(then)
+        b.br(merge)
+        b.set_insert_point(merge)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert (cond, True) in guards[then]
+        assert guards[merge] == frozenset()  # reachable both ways
+
+    def test_nested_guards_accumulate(self, module):
+        func, b = make_kernel(module, params=(I32, I32), arg_names=["a", "b"])
+        lvl1 = func.add_block("lvl1")
+        lvl2 = func.add_block("lvl2")
+        out = func.add_block("out")
+        c1 = b.icmp("eq", func.args[0], b.i32(0))
+        b.cond_br(c1, lvl1, out)
+        b.set_insert_point(lvl1)
+        c2 = b.icmp("eq", func.args[1], b.i32(0))
+        b.cond_br(c2, lvl2, out)
+        b.set_insert_point(lvl2)
+        b.br(out)
+        b.set_insert_point(out)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert guards[lvl2] == frozenset({(c1, True), (c2, True)})
+
+    def test_false_edge_polarity(self, module):
+        func, b = make_kernel(module, params=(I32,))
+        then = func.add_block("then")
+        els = func.add_block("els")
+        cond = b.icmp("eq", func.args[0], b.i32(0))
+        b.cond_br(cond, then, els)
+        b.set_insert_point(then)
+        b.ret()
+        b.set_insert_point(els)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert (cond, False) in guards[els]
+
+
+class TestThreadDependence:
+    def test_tid_guard_is_thread_dependent(self, module):
+        func, b = make_kernel(module, params=())
+        then = func.add_block("then")
+        merge = func.add_block("merge")
+        cond = b.icmp("eq", b.thread_id(), b.i32(0))
+        b.cond_br(cond, then, merge)
+        b.set_insert_point(then)
+        b.br(merge)
+        b.set_insert_point(merge)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert block_is_thread_divergent(then, guards)
+        assert block_is_single_thread(then, guards)
+        assert not block_is_thread_divergent(func.entry, guards)
+
+    def test_uniform_guard_is_not_divergent(self, module):
+        func, b = make_kernel(module, params=(I32,))
+        then = func.add_block("then")
+        merge = func.add_block("merge")
+        cond = b.icmp("eq", func.args[0], b.i32(0))  # uniform kernel arg
+        b.cond_br(cond, then, merge)
+        b.set_insert_point(then)
+        b.br(merge)
+        b.set_insert_point(merge)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert not block_is_thread_divergent(then, guards)
+        assert not block_is_single_thread(then, guards)
+
+    def test_block_dim_guard_is_uniform(self, module):
+        func, b = make_kernel(module, params=())
+        then = func.add_block("then")
+        merge = func.add_block("merge")
+        cond = b.icmp("sgt", b.block_dim(), b.i32(16))
+        b.cond_br(cond, then, merge)
+        b.set_insert_point(then)
+        b.br(merge)
+        b.set_insert_point(merge)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert not block_is_thread_divergent(then, guards)
+
+    def test_main_thread_guard_recognized(self, module):
+        """tid == bdim - 1 (the generic-mode main thread)."""
+        func, b = make_kernel(module, params=())
+        then = func.add_block("then")
+        merge = func.add_block("merge")
+        main_id = b.sub(b.block_dim(), b.i32(1))
+        cond = b.icmp("eq", b.thread_id(), main_id)
+        b.cond_br(cond, then, merge)
+        b.set_insert_point(then)
+        b.br(merge)
+        b.set_insert_point(merge)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert block_is_single_thread(then, guards)
+
+    def test_derived_tid_expression_divergent(self, module):
+        func, b = make_kernel(module, params=())
+        then = func.add_block("then")
+        merge = func.add_block("merge")
+        lane = b.srem(b.thread_id(), b.i32(32))
+        cond = b.icmp("eq", lane, b.i32(0))
+        b.cond_br(cond, then, merge)
+        b.set_insert_point(then)
+        b.br(merge)
+        b.set_insert_point(merge)
+        b.ret()
+        guards = compute_block_guards(func)
+        assert block_is_thread_divergent(then, guards)
+        # But not *provably* single-threaded (lane 0 of each warp runs).
+        assert not block_is_single_thread(then, guards)

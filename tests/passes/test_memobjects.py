@@ -1,0 +1,162 @@
+"""Field-sensitive access analysis (§IV-B1): object discovery & binning."""
+
+import pytest
+
+from repro.memory.addrspace import AddressSpace
+from repro.ir import (
+    ArrayType,
+    GlobalVariable,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    FunctionType,
+)
+from repro.passes.memobjects import AccessKind, discover_objects
+from tests.conftest import make_function, make_kernel
+
+
+def find(objects, name):
+    for obj in objects:
+        if obj.name == name:
+            return obj
+    raise KeyError(name)
+
+
+class TestDiscovery:
+    def test_internal_global_discovered(self, module):
+        module.add_global(GlobalVariable("state", I32, addrspace=AddressSpace.SHARED))
+        objects = discover_objects(module)
+        obj = find(objects, "@state")
+        assert obj.zero_initialized
+        assert obj.size == 4
+
+    def test_external_global_not_discovered(self, module):
+        module.add_global(GlobalVariable("env", I32, linkage="external"))
+        assert all(o.name != "@env" for o in discover_objects(module))
+
+    def test_alloca_discovered(self, module):
+        func, b = make_function(module)
+        slot = b.alloca(I64)
+        b.ret(func.args[0])
+        objects = discover_objects(module)
+        assert any(o.base is slot for o in objects)
+
+    def test_alloc_shared_call_discovered(self, module):
+        alloc = module.declare("__kmpc_alloc_shared", FunctionType(PTR, (I64,)))
+        func, b = make_kernel(module, params=())
+        call = b.call(alloc, [b.i64(48)])
+        b.ret()
+        objects = discover_objects(module)
+        obj = next(o for o in objects if o.base is call)
+        assert obj.size == 48
+
+
+class TestAccessBinning:
+    def test_exact_offsets(self, module):
+        gv = module.add_global(GlobalVariable(
+            "s", ArrayType(I32, 8), addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=())
+        b.store(b.i32(1), b.ptradd(gv, 4))
+        b.load(I32, b.ptradd(gv, 8), volatile=False)
+        b.ret()
+        obj = find(discover_objects(module), "@s")
+        writes = obj.writes()
+        loads = obj.loads()
+        assert writes[0].offset == 4 and writes[0].size == 4
+        assert loads[0].offset == 8
+        assert not writes[0].conditional
+
+    def test_disjoint_bins_do_not_interfere(self, module):
+        gv = module.add_global(GlobalVariable(
+            "s", ArrayType(I32, 8), addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=())
+        b.store(b.i32(1), b.ptradd(gv, 0))
+        b.ret()
+        obj = find(discover_objects(module), "@s")
+        assert obj.interfering_writes(8, 4) == []
+        assert len(obj.interfering_writes(0, 4)) == 1
+        # Overlapping through size:
+        assert len(obj.interfering_writes(2, 4)) == 1
+
+    def test_unknown_offset_binned_separately(self, module):
+        gv = module.add_global(GlobalVariable(
+            "arr", ArrayType(I64, 8), addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=(I64,))
+        addr = b.ptradd(gv, b.mul(func.args[0], b.i64(8)))
+        b.load(I64, addr, volatile=False)
+        b.ret()
+        obj = find(discover_objects(module), "@arr")
+        assert obj.loads()[0].offset is None
+        assert obj.loads()[0].may_overlap(0, 8)
+
+    def test_select_pointer_marks_conditional(self, module):
+        """The Fig. 7b conditional-pointer write."""
+        state = module.add_global(GlobalVariable("state", I32, addrspace=AddressSpace.SHARED))
+        dummy = module.add_global(GlobalVariable("dummy", I64, addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=())
+        cond = b.icmp("eq", b.thread_id(), b.i32(0))
+        target = b.select(cond, state, dummy)
+        b.store(b.i32(7), target)
+        b.ret()
+        objects = discover_objects(module)
+        assert find(objects, "@state").writes()[0].conditional
+        assert find(objects, "@dummy").writes()[0].conditional
+
+    def test_memcpy_src_is_read_dst_is_write(self, module):
+        src = module.add_global(GlobalVariable("src", ArrayType(I64, 4), addrspace=AddressSpace.SHARED))
+        dst = module.add_global(GlobalVariable("dst", ArrayType(I64, 4), addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=())
+        b.intrinsic("llvm.memcpy", [
+            b.cast("bitcast", dst, PTR), b.cast("bitcast", src, PTR), b.i64(32)])
+        b.ret()
+        objects = discover_objects(module)
+        assert find(objects, "@src").loads()[0].kind is AccessKind.LOAD
+        assert find(objects, "@dst").writes()[0].kind is AccessKind.MEM_INTRINSIC
+
+
+class TestEscape:
+    def test_address_stored_to_memory_escapes(self, module):
+        gv = module.add_global(GlobalVariable("g", I64, addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=(PTR,))
+        addr = b.cast("ptrtoint", gv, I64)
+        b.store(addr, func.args[0])
+        b.ret()
+        obj = find(discover_objects(module), "@g")
+        assert obj.escaped
+
+    def test_address_passed_to_unknown_call_escapes(self, module):
+        gv = module.add_global(GlobalVariable("g", I64, addrspace=AddressSpace.SHARED))
+        sink = module.declare("sink", FunctionType(VOID, (PTR,)))
+        func, b = make_kernel(module, params=())
+        b.call(sink, [b.cast("bitcast", gv, PTR)])
+        b.ret()
+        obj = find(discover_objects(module), "@g")
+        assert obj.escaped
+        assert "sink" in obj.escape_reason
+
+    def test_icmp_on_address_does_not_escape(self, module):
+        gv = module.add_global(GlobalVariable("g", I64, addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=(PTR,))
+        a = b.cast("ptrtoint", gv, I64)
+        p = b.cast("ptrtoint", func.args[0], I64)
+        b.icmp("ult", p, a)
+        b.ret()
+        obj = find(discover_objects(module), "@g")
+        assert obj.analyzable
+
+    def test_free_call_does_not_escape(self, module):
+        gv = module.add_global(GlobalVariable("g", I64, addrspace=AddressSpace.SHARED))
+        free = module.declare("__kmpc_free_shared", FunctionType(VOID, (PTR, I64)))
+        func, b = make_kernel(module, params=())
+        b.call(free, [b.cast("bitcast", gv, PTR), b.i64(8)])
+        b.ret()
+        assert find(discover_objects(module), "@g").analyzable
+
+    def test_assume_use_does_not_escape(self, module):
+        gv = module.add_global(GlobalVariable("g", I32, addrspace=AddressSpace.SHARED))
+        func, b = make_kernel(module, params=())
+        v = b.load(I32, gv)
+        b.assume(b.icmp("eq", v, b.i32(0)))
+        b.ret()
+        assert find(discover_objects(module), "@g").analyzable

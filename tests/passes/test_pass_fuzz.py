@@ -1,0 +1,87 @@
+"""Pass-ordering fuzz: any subset/order of passes must preserve both
+structural validity (verifier) and observable behaviour (execution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import verify_module
+from repro.passes.barrier_elim import BarrierEliminationPass
+from repro.passes.cleanup import CleanupPass
+from repro.passes.globalization import GlobalizationEliminationPass
+from repro.passes.gvn import GVNPass, LICMPass
+from repro.passes.inline import InlinePass
+from repro.passes.internalize import InternalizePass
+from repro.passes.mem2reg import PromoteAllocasPass
+from repro.passes.pass_manager import PassContext, PassManager, PipelineConfig
+from repro.passes.spmdization import SPMDizationPass
+from repro.passes.strip_assumes import StripAssumesPass
+from repro.passes.value_prop import DeadStateStoreElimination, ValuePropagationPass
+from repro.runtime.interface import NEW_RUNTIME
+from tests.runtime.conftest import (
+    add_saxpy_body,
+    add_spmd_kernel,
+    build_runtime_module,
+    run_saxpy,
+)
+
+PASS_FACTORIES = [
+    InternalizePass,
+    CleanupPass,
+    SPMDizationPass,
+    GlobalizationEliminationPass,
+    InlinePass,
+    PromoteAllocasPass,
+    GVNPass,
+    LICMPass,
+    ValuePropagationPass,
+    DeadStateStoreElimination,
+    BarrierEliminationPass,
+    StripAssumesPass,
+]
+
+
+class TestPassOrderFuzz:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, len(PASS_FACTORIES) - 1),
+                    min_size=1, max_size=10))
+    def test_random_pass_sequences_preserve_semantics(self, indices):
+        module = build_runtime_module(NEW_RUNTIME)
+        body = add_saxpy_body(module)
+        add_spmd_kernel(module, NEW_RUNTIME, body)
+
+        ctx = PassContext(config=PipelineConfig(verify_each=True))
+        passes = [PASS_FACTORIES[i]() for i in indices]
+        PassManager(passes, ctx).run(module)
+        verify_module(module)
+
+        # Assumes may still be present; run without debug checking.
+        _, out, expected = run_saxpy(module, n=100, teams=2, threads=8,
+                                     debug_checks=False)
+        assert np.allclose(out, expected), [p.name for p in passes]
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.permutations(list(range(len(PASS_FACTORIES)))))
+    def test_full_permutations(self, order):
+        module = build_runtime_module(NEW_RUNTIME)
+        body = add_saxpy_body(module)
+        add_spmd_kernel(module, NEW_RUNTIME, body)
+        ctx = PassContext(config=PipelineConfig(verify_each=True))
+        PassManager([PASS_FACTORIES[i]() for i in order], ctx).run(module)
+        _, out, expected = run_saxpy(module, n=64, teams=1, threads=8,
+                                     debug_checks=False)
+        assert np.allclose(out, expected)
+
+    def test_pipeline_is_idempotent(self):
+        """Running the full pipeline twice changes nothing further."""
+        from repro.ir import print_module
+        from repro.passes import run_openmp_opt_pipeline
+
+        module = build_runtime_module(NEW_RUNTIME)
+        body = add_saxpy_body(module)
+        add_spmd_kernel(module, NEW_RUNTIME, body)
+        run_openmp_opt_pipeline(module, PipelineConfig())
+        first = print_module(module)
+        run_openmp_opt_pipeline(module, PipelineConfig())
+        assert print_module(module) == first

@@ -1,0 +1,66 @@
+"""ICV/team-state layout invariants the optimizer depends on."""
+
+from repro.memory.layout import DATA_LAYOUT
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.icv import ICV_DEFAULTS, ICV_STATE, icv_offset, icv_state_size
+from repro.runtime.state import (
+    TEAM_STATE,
+    team_state_offset,
+    team_state_size,
+)
+
+
+class TestICVLayout:
+    def test_field_order_is_abi(self):
+        # The field-sensitive access analysis bins by these offsets.
+        assert icv_offset("nthreads_var") == 0
+        assert icv_offset("levels_var") == 4
+        assert icv_offset("active_levels_var") == 8
+        assert icv_offset("max_active_levels_var") == 12
+        assert icv_offset("run_sched_var") == 16
+        assert icv_offset("run_sched_chunk_var") == 20
+
+    def test_state_size(self):
+        assert icv_state_size() == 24
+
+    def test_defaults_cover_every_field(self):
+        assert set(ICV_DEFAULTS) == {name for name, _ in ICV_STATE.fields}
+
+    def test_levels_default_zero(self):
+        assert ICV_DEFAULTS["levels_var"] == 0
+
+
+class TestTeamStateLayout:
+    def test_icvs_lead_the_struct(self):
+        # A TeamState pointer doubles as an ICVState pointer (the
+        # thread-state lookup relies on this).
+        assert team_state_offset("icvs") == 0
+
+    def test_pointer_fields_are_aligned(self):
+        assert team_state_offset("parallel_region_fn") % 8 == 0
+        assert team_state_offset("parallel_args") % 8 == 0
+
+    def test_distinct_offsets(self):
+        offsets = [team_state_offset(name) for name, _ in TEAM_STATE.fields]
+        assert len(set(offsets)) == len(offsets)
+
+    def test_size_is_aligned(self):
+        assert team_state_size() % 8 == 0
+
+
+class TestRuntimeConfig:
+    def test_release_has_no_debug(self):
+        assert not RuntimeConfig().debug_enabled
+
+    def test_debug_mask(self):
+        from repro.runtime.config import DEBUG_ASSERTIONS, DEBUG_FUNCTION_TRACING
+
+        cfg = RuntimeConfig(debug_kind=DEBUG_ASSERTIONS | DEBUG_FUNCTION_TRACING)
+        assert cfg.debug_enabled
+        assert cfg.debug_kind & DEBUG_ASSERTIONS
+        assert cfg.debug_kind & DEBUG_FUNCTION_TRACING
+
+    def test_stack_slices_cover_all_threads(self):
+        cfg = RuntimeConfig(max_threads=64, smem_stack_size=4096)
+        assert cfg.stack_slice_size == 64
+        assert cfg.stack_slice_size * cfg.max_threads <= cfg.smem_stack_size

@@ -1,0 +1,162 @@
+"""GPU identity intrinsics, math, assumptions, traps and device printf."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import F64, I64, PTR_GLOBAL
+from repro.vgpu import AssumptionViolation, TrapError, VirtualGPU
+from tests.conftest import make_kernel
+
+
+class TestIdentity:
+    def test_ids_and_geometry(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,), arg_names=["out"])
+        tid = b.thread_id()
+        bid = b.block_id()
+        bdim = b.block_dim()
+        gdim = b.grid_dim()
+        idx = b.sext(b.add(b.mul(bid, bdim), tid), I64)
+        packed = b.add(
+            b.mul(b.sext(gdim, I64), b.i64(1000000)),
+            b.add(b.mul(b.sext(bdim, I64), b.i64(1000)), idx),
+        )
+        b.store(packed, b.array_gep(func.args[0], I64, idx))
+        b.ret()
+        gpu = VirtualGPU(module)
+        out = gpu.alloc_array(np.zeros(6, dtype=np.int64))
+        gpu.launch("kern", [out], 2, 3)
+        vals = gpu.read_array(out, np.int64, 6)
+        for i, v in enumerate(vals):
+            assert v == 2 * 1000000 + 3 * 1000 + i
+
+    def test_warp_and_lane(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,), arg_names=["out"])
+        lane = b.intrinsic("gpu.lane_id", [], "lane")
+        tid = b.sext(b.thread_id(), I64)
+        b.store(b.sext(lane, I64), b.array_gep(func.args[0], I64, tid))
+        b.ret()
+        gpu = VirtualGPU(module)
+        out = gpu.alloc_array(np.zeros(64, dtype=np.int64))
+        gpu.launch("kern", [out], 1, 64)
+        vals = gpu.read_array(out, np.int64, 64)
+        assert list(vals) == [t % 32 for t in range(64)]
+
+
+class TestMath:
+    @pytest.mark.parametrize("name,arg,expected", [
+        ("llvm.sqrt.f64", 9.0, 3.0),
+        ("llvm.exp.f64", 0.0, 1.0),
+        ("llvm.log.f64", 1.0, 0.0),
+        ("llvm.sin.f64", 0.0, 0.0),
+        ("llvm.cos.f64", 0.0, 1.0),
+        ("llvm.fabs.f64", -2.5, 2.5),
+        ("llvm.floor.f64", 2.7, 2.0),
+    ])
+    def test_unary_math(self, module, name, arg, expected):
+        func, b = make_kernel(module, params=(PTR_GLOBAL, F64), arg_names=["out", "x"])
+        v = b.intrinsic(name, [func.args[1]])
+        b.store(v, func.args[0])
+        b.ret()
+        gpu = VirtualGPU(module)
+        out = gpu.alloc_array(np.zeros(1))
+        gpu.launch("kern", [out, arg], 1, 1)
+        assert gpu.read_array(out, np.float64, 1)[0] == pytest.approx(expected)
+
+    def test_pow_fmin_fmax(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,), arg_names=["out"])
+        p = b.intrinsic("llvm.pow.f64", [b.f64(2.0), b.f64(10.0)])
+        mn = b.intrinsic("llvm.fmin.f64", [p, b.f64(100.0)])
+        mx = b.intrinsic("llvm.fmax.f64", [mn, b.f64(512.0)])
+        b.store(mx, func.args[0])
+        b.ret()
+        gpu = VirtualGPU(module)
+        out = gpu.alloc_array(np.zeros(1))
+        gpu.launch("kern", [out], 1, 1)
+        assert gpu.read_array(out, np.float64, 1)[0] == 512.0
+
+    def test_sqrt_of_negative_is_nan(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,), arg_names=["out"])
+        v = b.intrinsic("llvm.sqrt.f64", [b.f64(-1.0)])
+        b.store(v, func.args[0])
+        b.ret()
+        gpu = VirtualGPU(module)
+        out = gpu.alloc_array(np.zeros(1))
+        gpu.launch("kern", [out], 1, 1)
+        assert math.isnan(gpu.read_array(out, np.float64, 1)[0])
+
+    def test_math_counts_as_flop(self, module):
+        func, b = make_kernel(module, params=(F64,), arg_names=["x"])
+        b.intrinsic("llvm.sqrt.f64", [func.args[0]])
+        b.ret()
+        gpu = VirtualGPU(module)
+        profile = gpu.launch("kern", [2.0], 1, 1)
+        assert profile.flops >= 1
+
+
+class TestAssumptions:
+    def _assume_kernel(self, module):
+        func, b = make_kernel(module, params=(I64,), arg_names=["x"])
+        b.assume(b.icmp("eq", func.args[0], b.i64(42)))
+        b.ret()
+
+    def test_violated_assumption_raises_in_debug(self, module):
+        self._assume_kernel(module)
+        gpu = VirtualGPU(module, debug_checks=True)
+        with pytest.raises(AssumptionViolation):
+            gpu.launch("kern", [7], 1, 1)
+
+    def test_valid_assumption_passes_in_debug(self, module):
+        self._assume_kernel(module)
+        gpu = VirtualGPU(module, debug_checks=True)
+        gpu.launch("kern", [42], 1, 1)
+
+    def test_assumption_ignored_in_release(self, module):
+        self._assume_kernel(module)
+        gpu = VirtualGPU(module, debug_checks=False)
+        gpu.launch("kern", [7], 1, 1)
+
+    def test_expect_passes_value_through(self, module):
+        func, b = make_kernel(module, params=(PTR_GLOBAL,), arg_names=["out"])
+        cond = b.icmp("eq", b.thread_id(), b.i32(0))
+        hinted = b.intrinsic("llvm.expect", [cond, b.i1(True)])
+        b.store(b.zext(hinted, I64), func.args[0])
+        b.ret()
+        gpu = VirtualGPU(module)
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        gpu.launch("kern", [out], 1, 1)
+        assert gpu.read_array(out, np.int64, 1)[0] == 1
+
+
+class TestPrintAndTrap:
+    def test_print_i64_collected(self, module):
+        func, b = make_kernel(module, params=())
+        b.intrinsic("rt.print_i64", [b.i64(-5)])
+        b.ret()
+        gpu = VirtualGPU(module)
+        profile = gpu.launch("kern", [], 1, 1)
+        assert profile.output == ["-5"]
+
+    def test_print_str_resolves_string_table(self, module):
+        from repro.runtime.common import cstring
+
+        msg = cstring(module, "hello device")
+        func, b = make_kernel(module, params=())
+        b.intrinsic("rt.print_str", [b.cast("ptrtoint", msg, I64)])
+        b.ret()
+        gpu = VirtualGPU(module)
+        profile = gpu.launch("kern", [], 1, 1)
+        assert profile.output == ["hello device"]
+
+    def test_trap_reports_last_message(self, module):
+        from repro.runtime.common import cstring
+
+        msg = cstring(module, "assertion failed: boom")
+        func, b = make_kernel(module, params=())
+        b.intrinsic("rt.print_str", [b.cast("ptrtoint", msg, I64)])
+        b.intrinsic("llvm.trap")
+        b.ret()
+        gpu = VirtualGPU(module)
+        with pytest.raises(TrapError, match="boom"):
+            gpu.launch("kern", [], 1, 1)

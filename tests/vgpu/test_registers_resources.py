@@ -1,0 +1,160 @@
+"""Register-pressure estimation and static resource accounting."""
+
+import numpy as np
+
+from repro.memory.addrspace import AddressSpace
+from repro.ir import (
+    ArrayType,
+    F64,
+    GlobalVariable,
+    I64,
+    PTR_GLOBAL,
+    verify_module,
+)
+from repro.vgpu.registers import estimate_kernel_registers, max_live_values
+from repro.vgpu.resources import (
+    measure_resources,
+    shared_memory_usage,
+    static_instruction_count,
+)
+from tests.conftest import make_function, make_kernel
+
+
+class TestMaxLiveValues:
+    def test_straight_line_chain_is_narrow(self, module):
+        func, b = make_function(module)
+        v = func.args[0]
+        for _ in range(20):
+            v = b.add(v, 1)
+        b.ret(v)
+        # Chained adds keep only one value live at a time (plus the arg).
+        assert max_live_values(func) <= 4
+
+    def test_wide_expression_increases_pressure(self, module):
+        func, b = make_function(module)
+        vals = [b.mul(func.args[0], i + 2) for i in range(12)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        assert max_live_values(func) >= 12
+
+    def test_loop_carried_values_are_live(self, module):
+        func, b = make_function(module)
+        entry = b.block
+        loop = func.add_block("loop")
+        done = func.add_block("done")
+        b.br(loop)
+        b.set_insert_point(loop)
+        phis = []
+        for i in range(6):
+            phi = b.phi(func.args[0].type, f"p{i}")
+            phi.add_incoming(b.i32(i), entry)
+            phis.append(phi)
+        acc = phis[0]
+        for p in phis[1:]:
+            acc = b.add(acc, p)
+        for phi in phis:
+            phi.add_incoming(b.add(phi, 1), loop)
+        b.cond_br(b.icmp("slt", acc, b.i32(100)), loop, done)
+        b.set_insert_point(done)
+        b.ret(acc)
+        verify_module(module)
+        assert max_live_values(func) >= 6
+
+    def test_removing_loop_reduces_pressure(self, module):
+        """The §V-B effect: no back edge -> no loop-carried state."""
+        loop_mod = module
+        func_loop, b = make_function(loop_mod, "with_loop")
+        entry = b.block
+        loop = func_loop.add_block("loop")
+        done = func_loop.add_block("done")
+        b.br(loop)
+        b.set_insert_point(loop)
+        iv = b.phi(func_loop.args[0].type, "iv")
+        iv.add_incoming(b.i32(0), entry)
+        body_val = b.mul(iv, 3)
+        nxt = b.add(iv, 1)
+        iv.add_incoming(nxt, loop)
+        b.cond_br(b.icmp("slt", nxt, func_loop.args[0]), loop, done)
+        b.set_insert_point(done)
+        b.ret(body_val)
+
+        func_flat, b2 = make_function(loop_mod, "without_loop")
+        b2.ret(b2.mul(func_flat.args[0], 3))
+
+        assert max_live_values(func_flat) < max_live_values(func_loop)
+
+
+class TestKernelRegisters:
+    def test_callee_pressure_included(self, module):
+        heavy, hb = make_function(module, "heavy", ret=I64, params=(I64,))
+        vals = [hb.mul(heavy.args[0], i + 2) for i in range(10)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = hb.add(acc, v)
+        hb.ret(acc)
+        kern, kb = make_kernel(module, params=(I64,))
+        kb.call(heavy, [kern.args[0]])
+        kb.ret()
+        verify_module(module)
+        regs = estimate_kernel_registers(kern, module)
+        assert regs > max_live_values(kern)
+
+    def test_call_depth_penalty(self, module):
+        leaf, lb = make_function(module, "leaf", ret=I64, params=(I64,))
+        lb.ret(leaf.args[0])
+        mid, mb = make_function(module, "mid", ret=I64, params=(I64,))
+        mb.ret(mb.call(leaf, [mid.args[0]]))
+        kern_deep, kd = make_kernel(module, "deep", params=(I64,))
+        kd.call(mid, [kern_deep.args[0]])
+        kd.ret()
+        kern_flat, kf = make_kernel(module, "flat", params=(I64,))
+        kf.ret()
+        assert estimate_kernel_registers(kern_deep, module) > \
+            estimate_kernel_registers(kern_flat, module)
+
+
+class TestSharedMemoryAccounting:
+    def test_reachable_shared_globals_counted(self, module):
+        module.add_global(GlobalVariable(
+            "tile", ArrayType(F64, 32), addrspace=AddressSpace.SHARED))
+        tile = module.get_global("tile")
+        kern, b = make_kernel(module, params=())
+        b.store(b.f64(1.0), tile)
+        b.ret()
+        assert shared_memory_usage(kern, module) == 256
+
+    def test_unreferenced_shared_not_counted(self, module):
+        module.add_global(GlobalVariable(
+            "unused", ArrayType(F64, 32), addrspace=AddressSpace.SHARED))
+        kern, b = make_kernel(module, params=())
+        b.ret()
+        assert shared_memory_usage(kern, module) == 0
+
+    def test_shared_reached_through_callee(self, module):
+        gv = module.add_global(GlobalVariable(
+            "deep", I64, addrspace=AddressSpace.SHARED))
+        helper, hb = make_function(module, "helper", ret=I64, params=())
+        hb.ret(hb.load(I64, gv))
+        kern, b = make_kernel(module, params=(PTR_GLOBAL,))
+        v = b.call(helper, [])
+        b.store(v, kern.args[0])
+        b.ret()
+        assert shared_memory_usage(kern, module) == 8
+
+    def test_global_memory_not_counted_as_shared(self, module):
+        gv = module.add_global(GlobalVariable("gmem", ArrayType(F64, 100)))
+        kern, b = make_kernel(module, params=())
+        b.load(F64, gv, volatile=True)
+        b.ret()
+        assert shared_memory_usage(kern, module) == 0
+
+    def test_measure_resources_bundle(self, module):
+        kern, b = make_kernel(module, params=(I64,))
+        b.add(kern.args[0], 1)
+        b.ret()
+        res = measure_resources(kern, module)
+        assert res.registers > 0
+        assert res.instruction_count == static_instruction_count(kern, module)
+        assert res.shared_memory_bytes == 0
