@@ -8,7 +8,27 @@ recorded in ``extra_info`` — those are what EXPERIMENTS.md reports.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_compile_cache():
+    """Benchmarks measure real compile+run wall time: disable the
+    compile cache so repeated configurations are not served memoized
+    (and no ``.repro-cache/`` is written into the repository)."""
+    from repro.toolchain import cache as toolchain_cache
+
+    old = os.environ.get("REPRO_CACHE")
+    os.environ["REPRO_CACHE"] = "0"
+    toolchain_cache.reset_compile_cache()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE", None)
+    else:
+        os.environ["REPRO_CACHE"] = old
+    toolchain_cache.reset_compile_cache()
 
 
 def run_once(benchmark, fn):

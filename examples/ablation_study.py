@@ -6,6 +6,11 @@ disabled one at a time, printing the slowdown and residual resources —
 the same experiment the paper uses to attribute GridMini's and
 XSBench's gains to individual analyses (§V-C).
 
+Every configuration goes through the toolchain service
+(``ToolchainSession.run``), the same entry point the bench harness
+uses, so compilations are served from the compile cache on repeat
+runs.
+
 Run:  python examples/ablation_study.py [xsbench|gridmini|minifmm]
 """
 
@@ -13,7 +18,8 @@ import sys
 
 from repro.bench.builds import ablation_configs
 from repro.bench.harness import APPS
-from repro.frontend.driver import CompileOptions
+from repro.frontend.driver import CompileOptions, Target
+from repro.toolchain import RunRequest, ToolchainSession
 
 
 def main() -> None:
@@ -27,10 +33,12 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    session = ToolchainSession()
     baseline = None
     for label, pipeline in ablation_configs().items():
-        options = CompileOptions(runtime="new", pipeline=pipeline)
-        result = APPS[app_name].run(options)
+        options = CompileOptions(Target.OPENMP_NEW, pipeline=pipeline)
+        result = session.run_single(
+            RunRequest(app=app_name, options=options, label=label))
         assert result.verified, f"{label}: wrong results!"
         profile = result.profile
         if baseline is None:

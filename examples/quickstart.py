@@ -12,9 +12,9 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.frontend import ast as A
-from repro.frontend.driver import CompileOptions, compile_program
 from repro.ir.types import F64, I64, PTR
 from repro.bench.builds import BUILD_ORDER, build_options
+from repro.toolchain import ToolchainSession
 from repro.vgpu import VirtualGPU
 
 TEAMS, THREADS, N = 8, 32, 256
@@ -43,6 +43,9 @@ def build_saxpy() -> A.Program:
 
 def main() -> None:
     program = build_saxpy()
+    # One session for every build: repeated compiles of the same
+    # (program, options) pair are served from the compile cache.
+    session = ToolchainSession()
     x = np.arange(N, dtype=np.float64)
     y0 = np.ones(N)
     expected = 2.5 * x + y0
@@ -54,7 +57,7 @@ def main() -> None:
 
     for build in BUILD_ORDER:
         options = build_options()[build]
-        compiled = compile_program(program, options)
+        compiled = session.compile(program, options)
         gpu = VirtualGPU(compiled.module)
         px, py = gpu.alloc_array(x), gpu.alloc_array(y0)
         args = compiled.abi("saxpy").marshal(

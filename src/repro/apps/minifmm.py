@@ -221,7 +221,7 @@ def run(
     **kwargs,
 ) -> AppRunResult:
     size = size or default_size()
-    if options.mode == "openmp":
+    if options.target.is_openmp:
         # MiniFMM is built with a smaller device stack (the app needs
         # only tiny per-call frames), which is what its ~3KB SMem row in
         # Fig. 11 reflects; deep recursion spills to the global-memory

@@ -10,4 +10,9 @@ from repro.bench.builds import (  # noqa: F401
     ablation_configs,
     build_options,
 )
-from repro.bench.harness import APPS, MatrixResult, run_build_matrix  # noqa: F401
+from repro.bench.harness import (  # noqa: F401
+    APPS,
+    MatrixResult,
+    run_build_matrix,
+    run_single,
+)

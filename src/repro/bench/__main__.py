@@ -2,46 +2,88 @@
 
 Usage::
 
-    python -m repro.bench fig10
-    python -m repro.bench fig11
-    python -m repro.bench fig12
-    python -m repro.bench fig13
+    python -m repro.bench fig10 [--jobs N]
+    python -m repro.bench fig11 [--jobs N]
+    python -m repro.bench fig12 [--jobs N]
+    python -m repro.bench fig13 [--jobs N]
     python -m repro.bench oversub
+    python -m repro.bench timings [--app APP] [--build BUILD]
     python -m repro.bench json     (machine-readable full report)
-    python -m repro.bench all
+    python -m repro.bench all      [--jobs N]
+
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
+independent (app, build) cells of each figure out over N worker
+processes; repeated invocations share compilations through the
+on-disk compile cache (``.repro-cache/``, see README "Caching &
+parallelism").
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.bench import figures
+from repro.bench.builds import BUILD_ORDER
+from repro.bench.harness import APPS
+
+COMMANDS = ("fig10", "fig11", "fig12", "fig13", "oversub", "timings", "json", "all")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument("what", nargs="?", default="all", choices=COMMANDS)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for independent (app, build) cells "
+             "(default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--app", default="xsbench", choices=sorted(APPS),
+        help="app for the timings command",
+    )
+    parser.add_argument(
+        "--build", default=None, choices=BUILD_ORDER,
+        help="build label for the timings command",
+    )
+    return parser
 
 
 def main(argv) -> int:
-    what = argv[1] if len(argv) > 1 else "all"
+    try:
+        args = _parser().parse_args(argv[1:])
+    except SystemExit as exc:
+        # argparse already printed usage; report the classic status code
+        # for unknown figures so scripted callers can branch on it.
+        return 2 if exc.code not in (0, None) else 0
+    what, jobs = args.what, args.jobs
     if what in ("fig10", "all"):
-        print(figures.format_fig10(figures.fig10_relative_performance()))
+        print(figures.format_fig10(figures.fig10_relative_performance(jobs=jobs)))
         print()
     if what in ("fig11", "all"):
-        print(figures.format_fig11(figures.fig11_resources()))
+        print(figures.format_fig11(figures.fig11_resources(jobs=jobs)))
         print()
     if what in ("fig12", "all"):
-        print(figures.format_fig12(figures.fig12_gridmini_gflops()))
+        print(figures.format_fig12(figures.fig12_gridmini_gflops(jobs=jobs)))
         print()
     if what in ("fig13", "all"):
-        print(figures.format_fig13(figures.fig13_ablation()))
+        print(figures.format_fig13(figures.fig13_ablation(jobs=jobs)))
         print()
     if what in ("oversub", "all"):
         print(figures.format_oversubscription(figures.oversubscription_effect()))
         print()
+    if what == "timings":
+        kwargs = {"app": args.app}
+        if args.build is not None:
+            kwargs["build"] = args.build
+        print(figures.format_pipeline_timings(figures.pipeline_timings(**kwargs)))
     if what == "json":
         from repro.bench.report import render_json
 
-        print(render_json())
-    if what not in ("fig10", "fig11", "fig12", "fig13", "oversub", "json", "all"):
-        print(__doc__)
-        return 2
+        print(render_json(jobs=jobs))
     return 0
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.frontend.driver import CompileOptions
+from repro.frontend.driver import CompileOptions, Target
 from repro.passes.pass_manager import PipelineConfig
 
 OLD_RT_NIGHTLY = "Old RT (Nightly)"
@@ -34,14 +34,14 @@ def build_options() -> Dict[str, CompileOptions]:
     """Fresh CompileOptions for each named build."""
     return {
         OLD_RT_NIGHTLY: CompileOptions(
-            runtime="old", pipeline=PipelineConfig.nightly()
+            Target.OPENMP_OLD, pipeline=PipelineConfig.nightly()
         ),
         NEW_RT_NIGHTLY: CompileOptions(
-            runtime="new", pipeline=PipelineConfig.nightly()
+            Target.OPENMP_NEW, pipeline=PipelineConfig.nightly()
         ),
-        NEW_RT_NO_ASSUME: CompileOptions(runtime="new"),
-        NEW_RT: CompileOptions(runtime="new").with_oversubscription(),
-        CUDA: CompileOptions(mode="cuda"),
+        NEW_RT_NO_ASSUME: CompileOptions(Target.OPENMP_NEW),
+        NEW_RT: CompileOptions(Target.OPENMP_NEW).with_oversubscription(),
+        CUDA: CompileOptions(Target.CUDA),
     }
 
 

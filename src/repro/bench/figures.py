@@ -2,7 +2,8 @@
 
 Each ``fig*`` function runs the required configurations and returns the
 rows/series the paper reports; ``format_*`` helpers render them as
-text tables for the CLI.
+text tables for the CLI.  All generators accept a ``jobs`` count that
+fans independent cells out over the toolchain's process pool.
 """
 
 from __future__ import annotations
@@ -10,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.apps import xsbench
 from repro.apps.common import AppRunResult
 from repro.bench.builds import (
     BUILD_ORDER,
@@ -21,8 +21,9 @@ from repro.bench.builds import (
     ablation_configs,
     build_options,
 )
-from repro.bench.harness import APPS, SKIP_CUDA, MatrixResult, run_build_matrix
-from repro.frontend.driver import CompileOptions
+from repro.bench.harness import APPS, SKIP_CUDA, MatrixResult, run_build_matrix, run_single
+from repro.frontend.driver import CompileOptions, Target
+from repro.toolchain.service import ToolchainSession
 
 # ------------------------------------------------------------------- Fig. 10 --
 
@@ -31,13 +32,14 @@ FIG10_APPS = ["xsbench", "rsbench", "testsnap", "minifmm"]
 
 def fig10_relative_performance(
     apps: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 10: per-app performance relative to Old RT (higher=faster)."""
     out: Dict[str, Dict[str, float]] = {}
     for app in apps or FIG10_APPS:
-        matrix = run_build_matrix(app)
+        matrix = run_build_matrix(app, jobs=jobs)
         assert matrix.all_verified(), f"{app}: result verification failed"
-        out[app] = matrix.relative_performance(OLD_RT_NIGHTLY)
+        out[app] = matrix.speedups(OLD_RT_NIGHTLY)
     return out
 
 
@@ -66,22 +68,24 @@ class ResourceRow:
     shared_memory_bytes: int
 
 
-def fig11_resources(apps: Optional[List[str]] = None) -> List[ResourceRow]:
+def fig11_resources(
+    apps: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+) -> List[ResourceRow]:
     """Fig. 11: kernel time, register count, and static shared memory
     for every app × build."""
     rows: List[ResourceRow] = []
     for app in apps or list(APPS):
-        matrix = run_build_matrix(app)
+        matrix = run_build_matrix(app, jobs=jobs)
         assert matrix.all_verified(), f"{app}: result verification failed"
-        for build, result in matrix.results.items():
-            p = result.profile
+        for cell in matrix.resource_table():
             rows.append(ResourceRow(
-                app=app,
-                build=build,
-                kernel_cycles=p.cycles,
-                time_ms=p.time_ms,
-                registers=p.registers,
-                shared_memory_bytes=p.shared_memory_bytes,
+                app=cell["app"],
+                build=cell["build"],
+                kernel_cycles=cell["kernel_cycles"],
+                time_ms=cell["time_ms"],
+                registers=cell["registers"],
+                shared_memory_bytes=cell["shared_memory_bytes"],
             ))
     return rows
 
@@ -100,13 +104,11 @@ def format_fig11(rows: List[ResourceRow]) -> str:
 
 # ------------------------------------------------------------------- Fig. 12 --
 
-def fig12_gridmini_gflops() -> Dict[str, float]:
+def fig12_gridmini_gflops(jobs: Optional[int] = None) -> Dict[str, float]:
     """Fig. 12: GridMini floating-point throughput per build."""
-    matrix = run_build_matrix("gridmini")
+    matrix = run_build_matrix("gridmini", jobs=jobs)
     assert matrix.all_verified()
-    return {
-        build: result.profile.gflops for build, result in matrix.results.items()
-    }
+    return {cell["build"]: cell["gflops"] for cell in matrix.resource_table()}
 
 
 def format_fig12(data: Dict[str, float]) -> str:
@@ -124,15 +126,19 @@ FIG13_APPS = ["gridmini", "xsbench", "minifmm"]
 
 def fig13_ablation(
     apps: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, int]]:
     """Fig. 13 / §V-C: kernel cycles with one optimization disabled at a
     time (New RT w/o user assumptions as the base configuration)."""
+    session = ToolchainSession(jobs=jobs)
     out: Dict[str, Dict[str, int]] = {}
     for app in apps or FIG13_APPS:
+        tasks = [
+            (app, label, CompileOptions(Target.OPENMP_NEW, pipeline=pipeline), {})
+            for label, pipeline in ablation_configs().items()
+        ]
         per_app: Dict[str, int] = {}
-        for label, pipeline in ablation_configs().items():
-            options = CompileOptions(runtime="new", pipeline=pipeline)
-            result = APPS[app].run(options)
+        for label, result in session.map_cells(tasks):
             assert result.verified, f"{app} under '{label}' failed verification"
             per_app[label] = result.profile.cycles
         out[app] = per_app
@@ -171,8 +177,8 @@ class OversubscriptionEffect:
 def oversubscription_effect(app: str = "xsbench") -> OversubscriptionEffect:
     """§V-B: effect of the loop over-subscription assumptions."""
     options = build_options()
-    without = APPS[app].run(options[NEW_RT_NO_ASSUME])
-    with_ = APPS[app].run(options[NEW_RT])
+    without = run_single(app, options[NEW_RT_NO_ASSUME])
+    with_ = run_single(app, options[NEW_RT])
     assert without.verified and with_.verified
     return OversubscriptionEffect(
         app=app,
@@ -197,8 +203,53 @@ def format_oversubscription(effect: OversubscriptionEffect) -> str:
 def debug_overhead(app: str = "xsbench") -> Tuple[AppRunResult, AppRunResult]:
     """Release vs debug build of the same app (§III-G): debug checks
     run, release carries zero overhead for them."""
-    release = APPS[app].run(CompileOptions(runtime="new"))
-    debug_opts = CompileOptions(runtime="new").with_debug()
-    debug = APPS[app].run(debug_opts, debug_checks=True, env={"DEBUG": 3})
+    release = run_single(app, CompileOptions(Target.OPENMP_NEW))
+    debug_opts = CompileOptions(Target.OPENMP_NEW).with_debug()
+    debug = run_single(app, debug_opts, debug_checks=True, env={"DEBUG": 3})
     assert release.verified and debug.verified
     return release, debug
+
+
+# ----------------------------------------------------------- pipeline timings --
+
+def pipeline_timings(
+    app: str = "xsbench", build: str = NEW_RT_NO_ASSUME
+) -> "PipelineStatsView":
+    """Compile *app* under *build* and return its pipeline statistics
+    plus the compile-cache counters (``python -m repro.bench timings``)."""
+    from repro.toolchain.cache import get_compile_cache
+
+    options = build_options()[build]
+    compiled = ToolchainSession().compile(
+        APPS[app].build_program(APPS[app].default_size()), options
+    )
+    cache = get_compile_cache()
+    return PipelineStatsView(
+        app=app,
+        build=build,
+        stats=compiled.stats,
+        cache_stats=cache.stats if cache is not None else None,
+    )
+
+
+@dataclass
+class PipelineStatsView:
+    app: str
+    build: str
+    stats: "object"
+    cache_stats: "object" = None
+
+
+def format_pipeline_timings(view: PipelineStatsView) -> str:
+    lines = [f"openmp-opt pipeline timings — {view.app} / {view.build}"]
+    if view.stats is None:
+        lines.append("  (no stats recorded — cache entry predates instrumentation)")
+    else:
+        lines.append(view.stats.format_table())
+    if view.cache_stats is not None:
+        s = view.cache_stats
+        lines.append(
+            f"compile cache: {s.hits} hits ({s.disk_hits} from disk), "
+            f"{s.misses} misses, hit rate {s.hit_rate:.0%}"
+        )
+    return "\n".join(lines)

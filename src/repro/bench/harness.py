@@ -1,15 +1,22 @@
 """Benchmark harness: runs apps across the build matrix and collects
-profiles for the figure generators."""
+profiles for the figure generators.
+
+``run_build_matrix``/``run_single`` are thin wrappers over
+:class:`repro.toolchain.service.ToolchainSession` — the harness, the
+figure generators and the examples all construct runs the same way.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.apps import gridmini, minifmm, rsbench, testsnap, xsbench
 from repro.apps.common import AppRunResult
-from repro.bench.builds import BUILD_ORDER, CUDA, build_options
+from repro.bench.builds import BUILD_ORDER, CUDA, OLD_RT_NIGHTLY, build_options
 from repro.frontend.driver import CompileOptions
+from repro.toolchain.service import RunRequest, ToolchainSession
 
 #: App registry: name -> module with the common app surface.
 APPS = {
@@ -27,7 +34,12 @@ SKIP_CUDA = {"testsnap"}
 
 @dataclass
 class MatrixResult:
-    """All build results for one application."""
+    """All build results for one application.
+
+    Downstream consumers (figures, reports) go through the stable
+    accessor surface — ``speedups()``, ``resource_table()``,
+    ``to_json()`` — instead of reaching into per-build profiles.
+    """
 
     app: str
     results: Dict[str, AppRunResult] = field(default_factory=dict)
@@ -35,14 +47,46 @@ class MatrixResult:
     def cycles(self, build: str) -> int:
         return self.results[build].profile.cycles
 
-    def relative_performance(self, baseline: str) -> Dict[str, float]:
+    def speedups(self, baseline: str = OLD_RT_NIGHTLY) -> Dict[str, float]:
         """Speedup of each build relative to *baseline* (higher=faster),
         the normalization of the paper's Fig. 10."""
         base = self.cycles(baseline)
-        return {
-            build: base / result.profile.cycles
-            for build, result in self.results.items()
-        }
+        return {build: base / self.cycles(build) for build in self.results}
+
+    def relative_performance(self, baseline: str) -> Dict[str, float]:
+        """Back-compat alias of :meth:`speedups`."""
+        return self.speedups(baseline)
+
+    def resource_table(self) -> List[Dict[str, Any]]:
+        """Fig.-11-style rows: one dict per build with the static and
+        dynamic resource measurements."""
+        rows: List[Dict[str, Any]] = []
+        for build, result in self.results.items():
+            p = result.profile
+            rows.append({
+                "app": self.app,
+                "build": build,
+                "kernel_cycles": p.cycles,
+                "time_ms": p.time_ms,
+                "registers": p.registers,
+                "shared_memory_bytes": p.shared_memory_bytes,
+                "barriers": p.barriers,
+                "gflops": p.gflops,
+                "verified": result.verified,
+            })
+        return rows
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Machine-readable summary of the whole matrix."""
+        return json.dumps(
+            {
+                "app": self.app,
+                "builds": list(self.results),
+                "rows": self.resource_table(),
+            },
+            indent=indent,
+            sort_keys=True,
+        )
 
     def all_verified(self) -> bool:
         return all(r.verified for r in self.results.values())
@@ -52,18 +96,19 @@ def run_build_matrix(
     app_name: str,
     builds: Optional[List[str]] = None,
     size: Optional[Dict[str, int]] = None,
+    jobs: Optional[int] = None,
 ) -> MatrixResult:
-    """Run *app_name* under each named build configuration."""
-    app = APPS[app_name]
-    options = build_options()
-    wanted = builds or list(BUILD_ORDER)
-    if app_name in SKIP_CUDA and CUDA in wanted:
-        wanted = [b for b in wanted if b != CUDA]
-    out = MatrixResult(app=app_name)
-    for build in wanted:
-        out.results[build] = app.run(options[build], size=size)
-    return out
+    """Run *app_name* under each named build configuration.
+
+    With ``jobs > 1`` (or ``REPRO_JOBS``) the independent cells fan out
+    over a process pool; the result is identical to the serial run.
+    """
+    return ToolchainSession(jobs=jobs).run(
+        RunRequest(app=app_name, builds=builds, size=size)
+    )
 
 
 def run_single(app_name: str, options: CompileOptions, **kwargs) -> AppRunResult:
-    return APPS[app_name].run(options, **kwargs)
+    return ToolchainSession().run_single(
+        RunRequest(app=app_name, options=options, run_kwargs=kwargs)
+    )

@@ -2,27 +2,33 @@
 
 ``python -m repro.bench json`` emits every experiment as one JSON
 document, for plotting or regression tracking across versions of this
-repository.
+repository.  The report also carries the toolchain observability data:
+per-pass pipeline timings for a reference compilation and the compile
+cache hit/miss counters accumulated while producing the report.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.bench import figures
 
 
-def collect_report(apps=None) -> Dict[str, Any]:
+def collect_report(apps=None, jobs: Optional[int] = None) -> Dict[str, Any]:
     """Run every experiment and collect the results."""
-    fig11_rows = figures.fig11_resources(apps)
+    from repro.toolchain.cache import get_compile_cache
+
+    fig11_rows = figures.fig11_resources(apps, jobs=jobs)
     oversub = figures.oversubscription_effect()
+    timings = figures.pipeline_timings()
+    cache = get_compile_cache()
     return {
-        "fig10_relative_performance": figures.fig10_relative_performance(),
+        "fig10_relative_performance": figures.fig10_relative_performance(jobs=jobs),
         "fig11_resources": [asdict(row) for row in fig11_rows],
-        "fig12_gridmini_gflops": figures.fig12_gridmini_gflops(),
-        "fig13_ablation_cycles": figures.fig13_ablation(),
+        "fig12_gridmini_gflops": figures.fig12_gridmini_gflops(jobs=jobs),
+        "fig13_ablation_cycles": figures.fig13_ablation(jobs=jobs),
         "oversubscription": {
             "app": oversub.app,
             "cycles_without": oversub.cycles_without,
@@ -32,8 +38,14 @@ def collect_report(apps=None) -> Dict[str, Any]:
             "register_delta": oversub.register_delta,
             "time_delta_percent": oversub.time_delta_percent,
         },
+        "pipeline_timings": {
+            "app": timings.app,
+            "build": timings.build,
+            "stats": timings.stats.to_dict() if timings.stats is not None else None,
+        },
+        "compile_cache": cache.stats.to_dict() if cache is not None else None,
     }
 
 
-def render_json(apps=None, indent: int = 2) -> str:
-    return json.dumps(collect_report(apps), indent=indent, sort_keys=True)
+def render_json(apps=None, indent: int = 2, jobs: Optional[int] = None) -> str:
+    return json.dumps(collect_report(apps, jobs=jobs), indent=indent, sort_keys=True)

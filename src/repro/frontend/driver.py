@@ -2,11 +2,19 @@
 
 Mirrors the paper's toolchain (§II-B): lower against the chosen device
 runtime (or as CUDA), "link" the runtime in, run the openmp-opt
-pipeline, and hand back the final binary plus remarks and ABI.
+pipeline, and hand back the final binary plus remarks, ABI and
+pipeline statistics.
+
+Repeated compilations of the same ``(program, options)`` pair are
+served from the content-addressed compile cache in
+:mod:`repro.toolchain.cache`; pass ``use_cache=False`` (or set
+``REPRO_CACHE=0``) to force a fresh pipeline run.
 """
 
 from __future__ import annotations
 
+import enum
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Sequence
 
@@ -16,7 +24,7 @@ from repro.frontend import ast as A
 from repro.frontend.abi import KernelABI
 from repro.frontend.cuda import lower_program_cuda
 from repro.frontend.lower import lower_program_openmp
-from repro.passes.pass_manager import PipelineConfig
+from repro.passes.pass_manager import PipelineConfig, PipelineStats
 from repro.passes.pipeline import run_openmp_opt_pipeline
 from repro.passes.remarks import RemarkCollector
 from repro.runtime.config import (
@@ -26,21 +34,110 @@ from repro.runtime.config import (
 )
 
 
-@dataclass(frozen=True)
+class Target(enum.Enum):
+    """What the driver lowers a program against.
+
+    Replaces the old stringly ``mode``/``runtime`` pair: the legacy
+    ``("openmp", "new")`` etc. combinations are the enum values, so the
+    deprecated surface can round-trip through it.
+    """
+
+    #: OpenMP offload against the co-designed device runtime (§III).
+    OPENMP_NEW = ("openmp", "new")
+    #: OpenMP offload against the legacy device runtime.
+    OPENMP_OLD = ("openmp", "old")
+    #: The hand-written-CUDA-style lowering (no device runtime).
+    CUDA = ("cuda", None)
+
+    @property
+    def mode(self) -> str:
+        """Legacy mode string ("openmp" or "cuda")."""
+        return self.value[0]
+
+    @property
+    def runtime(self) -> str:
+        """Legacy runtime flavour; CUDA reports the old default "new"."""
+        return self.value[1] or "new"
+
+    @property
+    def is_openmp(self) -> bool:
+        return self.mode == "openmp"
+
+    @classmethod
+    def from_legacy(cls, mode: str, runtime: str) -> "Target":
+        if mode == "cuda":
+            return cls.CUDA
+        if mode == "openmp":
+            if runtime == "new":
+                return cls.OPENMP_NEW
+            if runtime == "old":
+                return cls.OPENMP_OLD
+            raise ValueError(f"unknown runtime {runtime!r}")
+        raise ValueError(f"unknown mode {mode!r}")
+
+
+def _warn_legacy(what: str) -> None:
+    warnings.warn(
+        f"CompileOptions.{what} is deprecated; use CompileOptions.target "
+        f"(repro.frontend.driver.Target)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, init=False)
 class CompileOptions:
     """Everything the command line would control."""
 
-    #: "openmp" or "cuda".
-    mode: str = "openmp"
-    #: Device runtime flavour: "new" (co-designed) or "old" (legacy).
-    runtime: str = "new"
+    #: What to lower against (runtime flavour / CUDA baseline).
+    target: Target
     #: Optimization pipeline controls (including the ablation flags).
-    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    pipeline: PipelineConfig
     #: Compile-time runtime parameters (debug mask, over-subscription
     #: assumptions, shared-stack sizing).
-    runtime_config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    runtime_config: RuntimeConfig
     #: Verify IR before and after optimizing.
-    verify: bool = True
+    verify: bool
+
+    def __init__(
+        self,
+        target: Optional[Target] = None,
+        *,
+        mode: Optional[str] = None,
+        runtime: Optional[str] = None,
+        pipeline: Optional[PipelineConfig] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        verify: bool = True,
+    ) -> None:
+        if mode is not None or runtime is not None:
+            if target is not None:
+                raise TypeError(
+                    "pass either target= or the deprecated mode=/runtime= "
+                    "pair, not both"
+                )
+            _warn_legacy("mode/runtime constructor arguments")
+            target = Target.from_legacy(mode or "openmp", runtime or "new")
+        object.__setattr__(self, "target", target or Target.OPENMP_NEW)
+        object.__setattr__(
+            self, "pipeline", pipeline if pipeline is not None else PipelineConfig()
+        )
+        object.__setattr__(
+            self,
+            "runtime_config",
+            runtime_config if runtime_config is not None else RuntimeConfig(),
+        )
+        object.__setattr__(self, "verify", verify)
+
+    # Deprecated stringly surface, kept so pre-Target callers still work.
+    @property
+    def mode(self) -> str:
+        _warn_legacy("mode")
+        return self.target.mode
+
+    @property
+    def runtime(self) -> str:
+        _warn_legacy("runtime")
+        return self.target.runtime
 
     def with_debug(self) -> "CompileOptions":
         """Debug build: assertions + tracing compiled in (§III-G)."""
@@ -72,6 +169,9 @@ class CompiledProgram:
     abis: Dict[str, KernelABI]
     options: CompileOptions
     remarks: RemarkCollector
+    #: Per-pass timing/impact record of the pipeline run that produced
+    #: this program (None for cache-restored results predating stats).
+    stats: Optional[PipelineStats] = None
 
     def kernel(self, name: str) -> Function:
         return self.module.get_function(name)
@@ -80,23 +180,45 @@ class CompiledProgram:
         return self.abis[name]
 
 
-def compile_program(
+def compile_program_uncached(
     program: A.Program, options: Optional[CompileOptions] = None
 ) -> CompiledProgram:
-    """Compile *program* according to *options*."""
+    """Compile *program* according to *options*, bypassing the cache."""
     options = options or CompileOptions()
-    if options.mode == "cuda":
+    if options.target is Target.CUDA:
         module, abis = lower_program_cuda(program)
-    elif options.mode == "openmp":
-        module, abis = lower_program_openmp(
-            program, options.runtime, options.runtime_config
-        )
     else:
-        raise ValueError(f"unknown mode {options.mode!r}")
+        module, abis = lower_program_openmp(
+            program, options.target.runtime, options.runtime_config
+        )
     if options.verify:
         verify_module(module)
     remarks = RemarkCollector()
-    run_openmp_opt_pipeline(module, options.pipeline, remarks)
+    ctx = run_openmp_opt_pipeline(module, options.pipeline, remarks)
     if options.verify:
         verify_module(module)
-    return CompiledProgram(module=module, abis=abis, options=options, remarks=remarks)
+    return CompiledProgram(
+        module=module, abis=abis, options=options, remarks=remarks, stats=ctx.stats
+    )
+
+
+def compile_program(
+    program: A.Program,
+    options: Optional[CompileOptions] = None,
+    use_cache: bool = True,
+) -> CompiledProgram:
+    """Compile *program* according to *options*.
+
+    Identical ``(program, options)`` pairs are served from the
+    content-addressed compile cache (:mod:`repro.toolchain.cache`)
+    without re-running the pipeline.
+    """
+    if not use_cache:
+        return compile_program_uncached(program, options)
+    # Imported here: the toolchain service layer sits *above* the driver.
+    from repro.toolchain.cache import get_compile_cache
+
+    cache = get_compile_cache()
+    if cache is None:
+        return compile_program_uncached(program, options)
+    return cache.get_or_compile(program, options or CompileOptions())

@@ -28,12 +28,20 @@ from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Valu
 
 
 class _Namer:
-    """Assigns stable, unique %names to values within a function."""
+    """Assigns stable, unique %names to values within a function.
 
-    def __init__(self) -> None:
+    In *canonical* mode the name hints values carry are ignored and
+    every SSA value is numbered in first-use order, so two structurally
+    identical functions print identically no matter how their values
+    were built or renamed — the property the content-addressed compile
+    cache fingerprints rely on (:mod:`repro.toolchain.fingerprint`).
+    """
+
+    def __init__(self, canonical: bool = False) -> None:
         self._names: Dict[int, str] = {}
         self._used: set = set()
         self._counter = 0
+        self._canonical = canonical
 
     def name_of(self, value: Value) -> str:
         if isinstance(value, Constant):
@@ -46,7 +54,7 @@ class _Namer:
         cached = self._names.get(key)
         if cached is not None:
             return cached
-        if value.name:
+        if value.name and not self._canonical:
             base = value.name
             name = base
             i = 1
@@ -61,7 +69,7 @@ class _Namer:
         return self._names[key]
 
 
-def print_module(module: Module) -> str:
+def print_module(module: Module, canonical: bool = False) -> str:
     lines: List[str] = [f"; module {module.name}"]
     for ty in module.struct_types.values():
         fields = ", ".join(f"{fty} {fname}" for fname, fty in ty.fields)
@@ -82,12 +90,12 @@ def print_module(module: Module) -> str:
     if module.globals:
         lines.append("")
     for func in module.functions.values():
-        lines.append(print_function(func))
+        lines.append(print_function(func, canonical=canonical))
     return "\n".join(lines) + "\n"
 
 
-def print_function(func: Function) -> str:
-    namer = _Namer()
+def print_function(func: Function, canonical: bool = False) -> str:
+    namer = _Namer(canonical=canonical)
     # Seed arguments so instruction names never shadow them.
     for a in func.args:
         namer.name_of(a)

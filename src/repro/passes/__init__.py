@@ -4,6 +4,9 @@ from repro.passes.pass_manager import (  # noqa: F401
     PassContext,
     PassManager,
     PipelineConfig,
+    PipelineStats,
+    PassTiming,
+    module_instruction_count,
 )
 from repro.passes.pipeline import run_openmp_opt_pipeline  # noqa: F401
 from repro.passes.remarks import Remark, RemarkCollector, RemarkKind  # noqa: F401

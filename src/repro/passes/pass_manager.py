@@ -8,12 +8,130 @@ how the test suite catches pass bugs early.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol
+from typing import Any, Callable, Dict, List, Optional, Protocol
 
 from repro.ir.module import Module
 from repro.ir.verifier import VerificationError, verify_module
 from repro.passes.remarks import RemarkCollector
+
+
+def module_instruction_count(module: Module) -> int:
+    """Total instructions across every defined function."""
+    return sum(
+        len(block.instructions)
+        for func in module.functions.values()
+        for block in func.blocks
+    )
+
+
+@dataclass
+class PassTiming:
+    """One pass execution inside a pipeline run."""
+
+    name: str
+    phase: str
+    wall_time_s: float
+    changed: bool
+    instructions_before: int
+    instructions_after: int
+
+    @property
+    def instructions_removed(self) -> int:
+        """Net instructions removed (negative when the pass grew the IR,
+        e.g. inlining)."""
+        return self.instructions_before - self.instructions_after
+
+
+@dataclass
+class PassAggregate:
+    """Per-pass totals across a whole pipeline run."""
+
+    name: str
+    runs: int = 0
+    changed_runs: int = 0
+    wall_time_s: float = 0.0
+    instructions_removed: int = 0
+
+
+@dataclass
+class PipelineStats:
+    """Observability record of one openmp-opt pipeline run.
+
+    Collected by :class:`PassManager` (per-pass wall time and
+    instruction deltas) and :func:`repro.passes.pipeline.
+    run_openmp_opt_pipeline` (fixpoint round counts, total wall time),
+    and attached to :class:`repro.frontend.driver.CompiledProgram`.
+    """
+
+    timings: List[PassTiming] = field(default_factory=list)
+    #: Fixpoint rounds actually executed (paper §IV interplay rounds).
+    rounds: int = 0
+    #: Wall time of the whole pipeline, including manager overhead.
+    wall_time_s: float = 0.0
+
+    def record(self, timing: PassTiming) -> None:
+        self.timings.append(timing)
+
+    def total_pass_time_s(self) -> float:
+        return sum(t.wall_time_s for t in self.timings)
+
+    def total_instructions_removed(self) -> int:
+        return sum(t.instructions_removed for t in self.timings)
+
+    def by_pass(self) -> Dict[str, PassAggregate]:
+        """Aggregate the log per pass name, in first-run order."""
+        out: Dict[str, PassAggregate] = {}
+        for t in self.timings:
+            agg = out.setdefault(t.name, PassAggregate(name=t.name))
+            agg.runs += 1
+            agg.changed_runs += int(t.changed)
+            agg.wall_time_s += t.wall_time_s
+            agg.instructions_removed += t.instructions_removed
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (``python -m repro.bench report``)."""
+        return {
+            "rounds": self.rounds,
+            "wall_time_s": self.wall_time_s,
+            "total_pass_time_s": self.total_pass_time_s(),
+            "total_instructions_removed": self.total_instructions_removed(),
+            "pass_runs": len(self.timings),
+            "per_pass": [
+                {
+                    "name": agg.name,
+                    "runs": agg.runs,
+                    "changed_runs": agg.changed_runs,
+                    "wall_time_s": agg.wall_time_s,
+                    "instructions_removed": agg.instructions_removed,
+                }
+                for agg in self.by_pass().values()
+            ],
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-pass table (``python -m repro.bench timings``)."""
+        header = (
+            f"{'pass':>24s} | {'runs':>4s} | {'chg':>4s} | "
+            f"{'time (ms)':>9s} | {'insts -':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for agg in sorted(
+            self.by_pass().values(), key=lambda a: a.wall_time_s, reverse=True
+        ):
+            lines.append(
+                f"{agg.name:>24s} | {agg.runs:>4d} | {agg.changed_runs:>4d} | "
+                f"{agg.wall_time_s * 1e3:>9.2f} | {agg.instructions_removed:>8d}"
+            )
+        lines.append(
+            f"{len(self.timings)} pass runs over {self.rounds} fixpoint rounds; "
+            f"pipeline {self.wall_time_s * 1e3:.2f} ms "
+            f"(passes {self.total_pass_time_s() * 1e3:.2f} ms), "
+            f"{self.total_instructions_removed()} instructions removed net"
+        )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -105,6 +223,10 @@ class PassContext:
     remarks: RemarkCollector = field(default_factory=RemarkCollector)
     #: Names of runtime API functions (never internal-DCE'd prematurely).
     runtime_api: frozenset = frozenset()
+    #: Observability sink; when set, every pass run is timed into it.
+    stats: Optional[PipelineStats] = None
+    #: Label of the pipeline phase currently executing (for stats).
+    phase: str = ""
 
 
 class PassManager:
@@ -117,8 +239,20 @@ class PassManager:
 
     def run(self, module: Module) -> bool:
         changed_any = False
+        stats = self.ctx.stats
         for p in self.passes:
+            before = module_instruction_count(module) if stats else 0
+            start = time.perf_counter()
             changed = p.run(module, self.ctx)
+            if stats is not None:
+                stats.record(PassTiming(
+                    name=p.name,
+                    phase=self.ctx.phase,
+                    wall_time_s=time.perf_counter() - start,
+                    changed=changed,
+                    instructions_before=before,
+                    instructions_after=module_instruction_count(module),
+                ))
             self.run_log.append(f"{p.name}: {'changed' if changed else 'no-op'}")
             changed_any |= changed
             if self.ctx.config.verify_each:

@@ -8,6 +8,7 @@ propagation — until nothing changes (the Attributor-style fixpoint).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.ir.module import Module
@@ -18,7 +19,12 @@ from repro.passes.gvn import GVNPass, LICMPass
 from repro.passes.inline import InlinePass
 from repro.passes.mem2reg import PromoteAllocasPass
 from repro.passes.internalize import InternalizePass
-from repro.passes.pass_manager import PassContext, PassManager, PipelineConfig
+from repro.passes.pass_manager import (
+    PassContext,
+    PassManager,
+    PipelineConfig,
+    PipelineStats,
+)
 from repro.passes.remarks import RemarkCollector
 from repro.passes.spmdization import SPMDizationPass
 from repro.passes.strip_assumes import StripAssumesPass
@@ -37,11 +43,15 @@ def run_openmp_opt_pipeline(
     # identity check matters here.
     if remarks is None:
         remarks = RemarkCollector()
-    ctx = PassContext(config=config, remarks=remarks)
+    stats = PipelineStats()
+    ctx = PassContext(config=config, remarks=remarks, stats=stats)
+    start = time.perf_counter()
     if config.opt_level == 0:
+        stats.wall_time_s = time.perf_counter() - start
         return ctx
 
     # Phase 1: whole-module preparation (pre-inlining pattern matching).
+    ctx.phase = "prepare"
     prep = PassManager(
         [InternalizePass(), CleanupPass(), SPMDizationPass(), GlobalizationEliminationPass()],
         ctx,
@@ -50,6 +60,7 @@ def run_openmp_opt_pipeline(
 
     # Phase 2: pull the runtime into the kernels, then run the generic
     # scalar pipeline LLVM provides around openmp-opt.
+    ctx.phase = "scalar"
     PassManager(
         [InlinePass(), CleanupPass(), PromoteAllocasPass(), CleanupPass(),
          GVNPass(), LICMPass(), CleanupPass()],
@@ -61,6 +72,7 @@ def run_openmp_opt_pipeline(
     PassManager([GlobalizationEliminationPass(), CleanupPass()], ctx).run(module)
 
     # Phase 3: the openmp-opt fixpoint rounds.
+    ctx.phase = "fixpoint"
     round_passes = [
         ValuePropagationPass(),
         CleanupPass(),
@@ -74,6 +86,7 @@ def run_openmp_opt_pipeline(
     ]
     for _ in range(max(1, config.max_rounds)):
         pm = PassManager(round_passes, ctx)
+        stats.rounds += 1
         if not pm.run(module):
             break
 
@@ -82,6 +95,7 @@ def run_openmp_opt_pipeline(
     # state; once they are gone, dead-store elimination can finally drop
     # the broadcast writes, the state globals, and with them the barriers
     # that published them.
+    ctx.phase = "late-sweep"
     PassManager(
         [BarrierEliminationPass(), CleanupPass(), StripAssumesPass(), CleanupPass()],
         ctx,
@@ -96,6 +110,8 @@ def run_openmp_opt_pipeline(
             ],
             ctx,
         )
+        stats.rounds += 1
         if not pm.run(module):
             break
+    stats.wall_time_s = time.perf_counter() - start
     return ctx

@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_compile_cache(tmp_path_factory):
+    """Point the on-disk compile cache at a session tmpdir so test runs
+    never leak ``.repro-cache/`` into the repository."""
+    from repro.toolchain import cache as toolchain_cache
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    toolchain_cache.reset_compile_cache()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    toolchain_cache.reset_compile_cache()
 
 from repro.ir import (
     F64,

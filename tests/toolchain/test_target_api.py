@@ -1,0 +1,74 @@
+"""The typed Target API and its deprecated stringly surface."""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.frontend.driver import CompileOptions, Target
+
+
+class TestTarget:
+    def test_legacy_round_trip(self):
+        assert Target.from_legacy("openmp", "new") is Target.OPENMP_NEW
+        assert Target.from_legacy("openmp", "old") is Target.OPENMP_OLD
+        assert Target.from_legacy("cuda", "new") is Target.CUDA
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            Target.from_legacy("hip", "new")
+        with pytest.raises(ValueError, match="runtime"):
+            Target.from_legacy("openmp", "future")
+
+    def test_mode_runtime_views(self):
+        assert Target.OPENMP_OLD.mode == "openmp"
+        assert Target.OPENMP_OLD.runtime == "old"
+        assert Target.CUDA.mode == "cuda"
+        assert Target.OPENMP_NEW.is_openmp
+        assert not Target.CUDA.is_openmp
+
+
+class TestCompileOptions:
+    def test_default_target(self):
+        assert CompileOptions().target is Target.OPENMP_NEW
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            opts = CompileOptions(mode="cuda")
+        assert opts.target is Target.CUDA
+        with pytest.warns(DeprecationWarning):
+            opts = CompileOptions(runtime="old")
+        assert opts.target is Target.OPENMP_OLD
+
+    def test_legacy_properties_warn(self):
+        opts = CompileOptions(Target.OPENMP_OLD)
+        with pytest.warns(DeprecationWarning):
+            assert opts.mode == "openmp"
+        with pytest.warns(DeprecationWarning):
+            assert opts.runtime == "old"
+
+    def test_legacy_and_target_equivalent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert CompileOptions(runtime="old") == CompileOptions(Target.OPENMP_OLD)
+            assert CompileOptions(mode="cuda") == CompileOptions(Target.CUDA)
+
+    def test_target_plus_legacy_rejected(self):
+        with pytest.raises(TypeError):
+            CompileOptions(Target.CUDA, mode="cuda")
+
+    def test_replace_preserves_target(self):
+        opts = CompileOptions(Target.OPENMP_OLD)
+        assert replace(opts, verify=False).target is Target.OPENMP_OLD
+
+    def test_builders_preserve_target(self):
+        opts = CompileOptions(Target.OPENMP_NEW).with_oversubscription()
+        assert opts.target is Target.OPENMP_NEW
+        assert opts.runtime_config.assume_teams_oversubscription
+        debug = CompileOptions(Target.OPENMP_OLD).with_debug()
+        assert debug.target is Target.OPENMP_OLD
+        assert debug.runtime_config.debug_enabled
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CompileOptions().target = Target.CUDA
