@@ -87,18 +87,26 @@ def run_proxy_app(
     gpu_config: Optional[GPUConfig] = None,
     debug_checks: bool = False,
     env: Optional[Dict[str, int]] = None,
+    engine: Optional[str] = None,
+    sim_jobs: Optional[int] = None,
 ) -> AppRunResult:
-    """Compile *program* under *options*, run *kernel*, verify, profile."""
+    """Compile *program* under *options*, run *kernel*, verify, profile.
+
+    ``engine`` picks the execution engine (``decoded``/``legacy``, see
+    :func:`repro.vgpu.resolve_sim_engine`); ``sim_jobs`` simulates
+    teams on that many worker threads (profiles are unchanged).
+    """
     compiled = compile_program(program, options)
     gpu = VirtualGPU(
         compiled.module,
         config=gpu_config or GPUConfig(),
         debug_checks=debug_checks,
         env=env,
+        engine=engine,
     )
     host_args, verify = prepare(gpu, size)
     args = compiled.abi(kernel).marshal(gpu, host_args)
-    profile = gpu.launch(kernel, args, num_teams, threads_per_team)
+    profile = gpu.launch(kernel, args, num_teams, threads_per_team, sim_jobs=sim_jobs)
     max_error = verify(gpu, host_args)
     return AppRunResult(
         app=app_name,

@@ -8,8 +8,14 @@ Usage::
     python -m repro.bench fig13 [--jobs N]
     python -m repro.bench oversub
     python -m repro.bench timings [--app APP] [--build BUILD]
+    python -m repro.bench simperf [--repeats N] [--quick] [--json] [--out PATH]
     python -m repro.bench json     (machine-readable full report)
     python -m repro.bench all      [--jobs N]
+
+``simperf`` benchmarks the simulator itself (decoded vs. legacy engine
+throughput across the app × build matrix) and writes its JSON report
+to ``BENCH_sim.json`` (tracked in git); ``--json`` prints the report
+to stdout instead of the table, ``--quick`` runs a single-cell smoke.
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent (app, build) cells of each figure out over N worker
@@ -27,7 +33,10 @@ from repro.bench import figures
 from repro.bench.builds import BUILD_ORDER
 from repro.bench.harness import APPS
 
-COMMANDS = ("fig10", "fig11", "fig12", "fig13", "oversub", "timings", "json", "all")
+COMMANDS = (
+    "fig10", "fig11", "fig12", "fig13", "oversub", "timings", "simperf",
+    "json", "all",
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -48,6 +57,28 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--build", default=None, choices=BUILD_ORDER,
         help="build label for the timings command",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="simperf: timed launches per cell (best is reported)",
+    )
+    parser.add_argument(
+        "--sim-jobs", type=int, default=None,
+        help="simperf: worker threads for parallel team simulation "
+             "(default: REPRO_SIM_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="simperf: single-cell smoke run (fast; used by CI)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="simperf: print the JSON report instead of the table",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="simperf: report path (default BENCH_sim.json; '-' skips "
+             "writing)",
     )
     return parser
 
@@ -80,6 +111,25 @@ def main(argv) -> int:
         if args.build is not None:
             kwargs["build"] = args.build
         print(figures.format_pipeline_timings(figures.pipeline_timings(**kwargs)))
+    if what == "simperf":
+        from repro.bench import simperf
+
+        if args.quick:
+            report = simperf.simperf_matrix(
+                apps=["testsnap"], builds=[BUILD_ORDER[0]],
+                repeats=1, sim_jobs=args.sim_jobs,
+            )
+        else:
+            report = simperf.simperf_matrix(
+                repeats=args.repeats, sim_jobs=args.sim_jobs,
+            )
+        out = args.out if args.out is not None else simperf.DEFAULT_OUTPUT
+        if out != "-":
+            simperf.write_report(report, out)
+        if args.as_json:
+            print(simperf.render_json(report))
+        else:
+            print(simperf.format_simperf(report))
     if what == "json":
         from repro.bench.report import render_json
 

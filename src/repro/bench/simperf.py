@@ -1,0 +1,159 @@
+"""Simulator-performance benchmark (``python -m repro.bench simperf``).
+
+This tracks the *interpreter's* throughput — wall-clock instructions
+per second and simulated cycles per second — not the modeled kernel
+time.  Simulated results (cycles, instruction counts, profiles) are
+engine-independent by construction; this benchmark measures how fast
+the simulation itself runs, which is what bounds the size of the
+problems the reproduction can afford to sweep.
+
+Each cell of the app × build matrix is executed under both engines
+(``legacy`` tree-walker and pre-``decoded`` micro-ops); only the
+``launch()`` call is timed — compilation (shared through the compile
+cache), input preparation and verification are excluded.  The best of
+``repeats`` runs is reported to suppress scheduler noise.
+
+The JSON report written to ``BENCH_sim.json`` is deterministic in
+structure (sorted keys, fixed cell order); the wall-clock numbers of
+course vary by machine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.builds import BUILD_ORDER, CUDA, build_options
+from repro.bench.harness import APPS, SKIP_CUDA
+from repro.toolchain.service import ToolchainSession
+from repro.vgpu import ENGINE_DECODED, ENGINE_LEGACY, GPUConfig, VirtualGPU
+
+#: Default output file, committed at the repo root so engine-throughput
+#: regressions show up in review.
+DEFAULT_OUTPUT = "BENCH_sim.json"
+
+
+def measure_cell(
+    app_name: str,
+    options,
+    engine: str,
+    size: Optional[Dict[str, int]] = None,
+    repeats: int = 3,
+    sim_jobs: Optional[int] = None,
+    session: Optional[ToolchainSession] = None,
+) -> Dict[str, Any]:
+    """Time one (app, options, engine) cell; only ``launch()`` is timed."""
+    app = APPS[app_name]
+    session = session or ToolchainSession()
+    size = size or app.default_size()
+    compiled = session.compile(app.build_program(size), options)
+    best = math.inf
+    profile = None
+    for _ in range(max(1, repeats)):
+        gpu = VirtualGPU(compiled.module, config=GPUConfig(), engine=engine)
+        host_args, _verify = app.prepare(gpu, size)
+        args = compiled.abi(app.KERNEL).marshal(gpu, host_args)
+        t0 = time.perf_counter()
+        profile = gpu.launch(
+            app.KERNEL, args, app.TEAMS, app.THREADS, sim_jobs=sim_jobs
+        )
+        best = min(best, time.perf_counter() - t0)
+    best = max(best, 1e-9)
+    return {
+        "app": app_name,
+        "engine": engine,
+        "wall_seconds": round(best, 6),
+        "instructions": profile.instructions,
+        "cycles": profile.cycles,
+        "insts_per_sec": round(profile.instructions / best, 1),
+        "cycles_per_sec": round(profile.cycles / best, 1),
+    }
+
+
+def simperf_matrix(
+    apps: Optional[Sequence[str]] = None,
+    builds: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    size: Optional[Dict[str, int]] = None,
+    sim_jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the app × build × engine sweep and return the report dict."""
+    app_names = list(apps) if apps else sorted(APPS)
+    wanted = list(builds) if builds else list(BUILD_ORDER)
+    options = build_options()
+    session = ToolchainSession()
+    cells: List[Dict[str, Any]] = []
+    speedups: Dict[str, Dict[str, float]] = {}
+    for app in app_names:
+        app_builds = [b for b in wanted if not (app in SKIP_CUDA and b == CUDA)]
+        for build in app_builds:
+            pair = {}
+            for engine in (ENGINE_LEGACY, ENGINE_DECODED):
+                cell = measure_cell(
+                    app, options[build], engine,
+                    size=size, repeats=repeats, sim_jobs=sim_jobs,
+                    session=session,
+                )
+                cell["build"] = build
+                cells.append(cell)
+                pair[engine] = cell
+            speedups.setdefault(app, {})[build] = round(
+                pair[ENGINE_DECODED]["insts_per_sec"]
+                / pair[ENGINE_LEGACY]["insts_per_sec"],
+                3,
+            )
+    ratios = [s for per_app in speedups.values() for s in per_app.values()]
+    geomean = (
+        round(math.exp(sum(math.log(r) for r in ratios) / len(ratios)), 3)
+        if ratios
+        else 0.0
+    )
+    return {
+        "benchmark": "simperf",
+        "config": {
+            "repeats": repeats,
+            "sim_jobs": sim_jobs,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "cells": cells,
+        "speedup_decoded_over_legacy": speedups,
+        "geomean_speedup": geomean,
+    }
+
+
+def render_json(report: Dict[str, Any], indent: int = 2) -> str:
+    return json.dumps(report, indent=indent, sort_keys=True)
+
+
+def write_report(report: Dict[str, Any], path: str = DEFAULT_OUTPUT) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_json(report) + "\n")
+    return path
+
+
+def format_simperf(report: Dict[str, Any]) -> str:
+    """Human-readable table of the simperf report."""
+    lines = [
+        "Simulator throughput (interpreter wall-clock, best of "
+        f"{report['config']['repeats']})",
+        f"{'app':<10} {'build':<26} {'engine':<8} "
+        f"{'Minsts/s':>9} {'Mcycles/s':>10} {'wall s':>8}",
+    ]
+    for cell in report["cells"]:
+        lines.append(
+            f"{cell['app']:<10} {cell['build']:<26} {cell['engine']:<8} "
+            f"{cell['insts_per_sec'] / 1e6:>9.2f} "
+            f"{cell['cycles_per_sec'] / 1e6:>10.2f} "
+            f"{cell['wall_seconds']:>8.3f}"
+        )
+    lines.append("")
+    lines.append("decoded/legacy speedup (instructions/sec):")
+    for app, per_build in report["speedup_decoded_over_legacy"].items():
+        for build, ratio in per_build.items():
+            lines.append(f"  {app:<10} {build:<26} {ratio:.2f}x")
+    lines.append(f"  geomean: {report['geomean_speedup']:.2f}x")
+    return "\n".join(lines)

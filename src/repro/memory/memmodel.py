@@ -12,6 +12,7 @@ different teams, exactly like a real GPU shared-memory address.
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Dict, Optional, Tuple, Union
 
 from repro.memory.addrspace import (
@@ -25,6 +26,14 @@ from repro.ir.types import FloatType, IntType, PointerType, Type
 
 class MemoryError_(Exception):
     """Out-of-bounds or otherwise invalid simulated memory access."""
+
+
+#: Serializes the cross-team mutable device state (the global-segment
+#: bump allocator and atomic read-modify-write sequences) when teams are
+#: simulated on worker threads.  Module-level rather than per
+#: :class:`MemorySystem` so results stay picklable; contention is nil —
+#: device mallocs and atomics are rare events in the proxy apps.
+DEVICE_LOCK = threading.Lock()
 
 
 def _align_to(offset: int, align: int) -> int:
@@ -142,6 +151,10 @@ class MemorySystem:
         #: globals are identical across teams, so we allocate layout once
         #: and instantiate per team.
         self.shared_brk_template = 16
+        #: One reusable zero image for shared-segment resets; all shared
+        #: segments are the same size, so launches zero in place instead
+        #: of allocating a fresh ``bytes`` per team.
+        self._shared_zeros = bytes(shared_size)
 
     # -- segment management -----------------------------------------------------
 
@@ -152,6 +165,17 @@ class MemorySystem:
             seg.brk = self.shared_brk_template
             seg.high_water = seg.brk
             self.shared_segs[team] = seg
+        return seg
+
+    def reset_shared_segment(self, team: int) -> Segment:
+        """(Re)initialize *team*'s shared segment for a launch: zero the
+        backing store in place (no per-team ``bytes`` allocation) and
+        rewind the bump pointer to the static-layout template."""
+        seg = self.shared_segment(team)
+        seg.data[:] = self._shared_zeros
+        seg.brk = self.shared_brk_template
+        seg.high_water = seg.brk
+        seg.allocations.clear()
         return seg
 
     def local_segment(self, team: int, thread: int) -> Segment:
@@ -220,7 +244,9 @@ class MemorySystem:
     # -- allocation -------------------------------------------------------------------
 
     def malloc(self, size: int) -> int:
-        return self.global_seg.allocate(max(1, size))
+        with DEVICE_LOCK:
+            return self.global_seg.allocate(max(1, size))
 
     def free(self, ptr: int) -> None:
-        self.global_seg.free(ptr)
+        with DEVICE_LOCK:
+            self.global_seg.free(ptr)

@@ -1,7 +1,21 @@
-"""Virtual GPU: interpreter, cost model and resource accounting."""
+"""Virtual GPU: execution engines, cost model and resource accounting."""
 
-from repro.vgpu.config import DEFAULT_CONFIG, GPUConfig, LaunchConfig  # noqa: F401
+from repro.vgpu.config import (  # noqa: F401
+    DEFAULT_CONFIG,
+    ENGINE_DECODED,
+    ENGINE_LEGACY,
+    ENGINES,
+    GPUConfig,
+    LaunchConfig,
+    resolve_sim_engine,
+    resolve_sim_jobs,
+)
 from repro.vgpu.cost import CostModel  # noqa: F401
+from repro.vgpu.decode import (  # noqa: F401
+    BoundFunction,
+    DecodedFunction,
+    decode_function,
+)
 from repro.vgpu.errors import (  # noqa: F401
     AssumptionViolation,
     DivergenceError,
@@ -9,8 +23,9 @@ from repro.vgpu.errors import (  # noqa: F401
     StepLimitExceeded,
     TrapError,
 )
+from repro.vgpu.execstate import Frame, ThreadContext, ThreadStatus  # noqa: F401
 from repro.vgpu.interpreter import VirtualGPU  # noqa: F401
-from repro.vgpu.profiler import KernelProfile, NOMINAL_CLOCK_GHZ  # noqa: F401
+from repro.vgpu.profiler import KernelProfile, NOMINAL_CLOCK_GHZ, TeamStats  # noqa: F401
 from repro.vgpu.registers import estimate_kernel_registers, max_live_values  # noqa: F401
 from repro.vgpu.resources import (  # noqa: F401
     ResourceUsage,

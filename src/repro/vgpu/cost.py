@@ -7,21 +7,27 @@ deltas reported by the benchmark harness (paper Fig. 10–12).
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.memory.addrspace import AddressSpace
 from repro.ir.instructions import (
     Alloca,
     AtomicRMW,
     BinOp,
+    Br,
     Call,
     Cast,
+    CondBr,
     FCmp,
     ICmp,
     Instruction,
     Load,
     Phi,
     PtrAdd,
+    Ret,
     Select,
     Store,
+    Unreachable,
 )
 from repro.ir.intrinsics import intrinsic_info
 from repro.vgpu.config import GPUConfig
@@ -77,3 +83,42 @@ class CostModel:
         if isinstance(inst, AtomicRMW):
             return self.config.atomic_cost
         return self.config.branch_cost
+
+    def static_execute_cost(self, inst: Instruction) -> Optional[int]:
+        """Cycle cost the executor charges for *inst*, folded at decode
+        time, or None when the charge depends on runtime state.
+
+        This is :meth:`simple_cost` restricted to exactly what the
+        execution engines charge per executed instruction: folding it
+        into the decoded stream cannot change measured cycles because
+        the value is a pure function of the instruction and the
+        :class:`GPUConfig` — the same number the legacy interpreter
+        computes on every execution.  ``ret``/``unreachable`` are free
+        (the interpreter never charged them) and ``phi`` never executes
+        (it is folded into branch-edge moves), so they return 0 rather
+        than the ``simple_cost`` branch fallback.
+        """
+        if isinstance(inst, (Ret, Unreachable, Phi)):
+            return 0
+        if isinstance(inst, (Load, Store, Call)):
+            return None  # address space / callee resolved at run time
+        if isinstance(inst, (Br, CondBr)):
+            return self.config.branch_cost
+        return self.simple_cost(inst)
+
+    def signature(self) -> Tuple:
+        """Hashable fingerprint of every cost this model can charge.
+
+        Two :class:`CostModel` instances with equal signatures fold
+        identical static costs, so decoded streams are interchangeable
+        between them (the :class:`GPUConfig` dataclass itself holds
+        dict fields and is not hashable).
+        """
+        c = self.config
+        return (
+            c.int_op_cost, c.float_op_cost, c.float_div_cost, c.int_div_cost,
+            c.branch_cost, c.select_cost, c.cast_cost, c.alloca_cost,
+            c.phi_cost, c.atomic_cost, c.call_cost,
+            tuple(sorted((int(k), v) for k, v in c.load_cost.items())),
+            tuple(sorted((int(k), v) for k, v in c.store_cost.items())),
+        )

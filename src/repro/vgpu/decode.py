@@ -1,0 +1,1462 @@
+"""Pre-decoded execution engine.
+
+The legacy interpreter re-discovers everything about an instruction on
+every execution: an ``isinstance`` ladder picks the semantics, operand
+lookup goes through a per-frame dict keyed by :class:`Value`, and the
+cycle cost is recomputed from the cost model.  This module does all of
+that once, in a ``decode(Function) -> DecodedFunction`` pass:
+
+* Basic blocks are flattened into one array of micro-ops per function;
+  branch targets become absolute indices into that array.
+* Every operand is resolved to an integer *slot* in a flat register
+  file.  Constants, globals, undefs and function addresses are
+  pre-filled into an ``init_regs`` template, so frame creation is a
+  single ``list.copy()``.
+* The handler for each op is bound at decode time through the opcode
+  dispatch table (:data:`_EMITTERS` plus the per-kind handler
+  functions below) and stored at ``op[0]`` — execution is one
+  indirect call per instruction, no type tests.
+* Static cycle costs (``CostModel.static_execute_cost``) are folded
+  into the op tuples.  Only loads, stores and calls keep a runtime
+  cost component.
+* Phi nodes never execute: each CFG edge carries a pre-computed
+  parallel-copy move list applied by the branch handlers.
+
+Decoding is split in two stages.  The *static* stage
+(:func:`decode_function`) depends only on the function and the
+cost-model signature (plus the warp size, which folds into
+``gpu.warp_size``/``gpu.lane_id``).  The *bind* stage resolves
+global/function addresses for one device.  Both are cached per
+:class:`VirtualGPU` (``vm._bound_cache``), never process-wide: passes
+mutate functions **in place**, so a decode memoized on the function's
+identity could outlive the IR it was decoded from.  Each device
+decodes the IR as it stands at first launch — the same snapshot
+moment at which the device materialized the module's globals.
+
+Semantics are intentionally bit-identical to the legacy engine: both
+charge the same cycles, count into the same :class:`TeamStats` fields
+and share the scalar helpers in :mod:`repro.vgpu.execstate`.  The
+differential tests enforce this.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.memory.addrspace import OFFSET_MASK, AddressSpace
+from repro.memory.layout import DATA_LAYOUT
+from repro.memory.memmodel import DEVICE_LOCK, scalar_size
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.intrinsics import intrinsic_info
+from repro.ir.module import Function
+from repro.ir.types import FloatType, IntType, I64
+from repro.ir.values import Constant, GlobalVariable, UndefValue
+from repro.vgpu.cost import CostModel
+from repro.vgpu.errors import (
+    AssumptionViolation,
+    SimulationError,
+    StepLimitExceeded,
+    TrapError,
+)
+from repro.vgpu.execstate import (
+    MATH_BINARY,
+    MATH_UNARY,
+    ThreadContext,
+    ThreadStatus,
+    atomic_apply,
+    make_coerce,
+    math_intrinsic,
+)
+
+_RUNNING = ThreadStatus.RUNNING
+_AT_BARRIER = ThreadStatus.AT_BARRIER
+_DONE = ThreadStatus.DONE
+
+#: Address-space object per pointer tag, indexed by ``ptr >> 48``.
+#: ``None`` marks the unused tag 2 so bad pointers fall into the slow
+#: path, which reproduces the legacy error behaviour.
+_SPACE_BY_TAG: Tuple[Optional[AddressSpace], ...] = (
+    AddressSpace.GENERIC,
+    AddressSpace.GLOBAL,
+    None,
+    AddressSpace.SHARED,
+    AddressSpace.CONSTANT,
+    AddressSpace.LOCAL,
+)
+
+_I64_TO_SIGNED = I64.to_signed
+
+
+# ===================================================================
+# Decoded program representation
+# ===================================================================
+
+
+class DecodedFunction:
+    """Static (device-independent) decode result for one function."""
+
+    __slots__ = (
+        "function",
+        "ops",
+        "entry_pc",
+        "num_slots",
+        "arg_slots",
+        "arg_coerce",
+        "static_init",
+        "global_fixups",
+        "func_fixups",
+    )
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.ops: List[tuple] = []
+        self.entry_pc = 0
+        self.num_slots = 0
+        self.arg_slots: Tuple[int, ...] = ()
+        self.arg_coerce: Tuple[Callable, ...] = ()
+        #: ``(slot, value)`` pairs for constants/undefs.
+        self.static_init: List[Tuple[int, object]] = []
+        #: ``(slot, GlobalVariable)`` resolved at bind time.
+        self.global_fixups: List[Tuple[int, GlobalVariable]] = []
+        #: ``(slot, Function)`` resolved at bind time.
+        self.func_fixups: List[Tuple[int, Function]] = []
+
+
+class BoundFunction:
+    """A :class:`DecodedFunction` bound to one device's address map."""
+
+    __slots__ = ("code", "init_regs")
+
+    def __init__(self, code: DecodedFunction, init_regs: List) -> None:
+        self.code = code
+        self.init_regs = init_regs
+
+
+class DecodedFrame:
+    """One activation record of the decoded engine."""
+
+    __slots__ = ("ops", "regs", "pc", "ret_dest", "function")
+
+    def __init__(
+        self, ops: List[tuple], regs: List, pc: int, ret_dest: int, function: Function
+    ) -> None:
+        self.ops = ops
+        self.regs = regs
+        self.pc = pc
+        self.ret_dest = ret_dest
+        self.function = function
+
+
+# ===================================================================
+# Micro-op handlers
+#
+# Every handler has the signature ``handler(vm, thread, frame, op) ->
+# cycles`` and is stored at ``op[0]``; ``op[1]`` is the opcode string
+# the run loop counts, ``op[2]`` is the next pc (or branch target).
+# The remaining layout is documented per handler.
+# ===================================================================
+
+
+def _segment(vm, thread, tag):
+    """Fast segment lookup by pointer tag; None routes to the slow path."""
+    if tag == 1 or tag == 0:
+        return vm.memory.global_seg
+    if tag == 3:
+        seg = thread.shared_seg
+        if seg is None:
+            seg = thread.shared_seg = vm.memory.shared_segment(thread.team_id)
+        return seg
+    if tag == 5:
+        seg = thread.local_seg
+        if seg is None:
+            seg = thread.local_seg = vm.memory.local_segment(
+                thread.team_id, thread.thread_id
+            )
+        return seg
+    if tag == 4:
+        return vm.memory.constant_seg
+    return None
+
+
+# -- integer binops: (h, op, next, dest, a, b, wrap, cost) --
+
+
+def _h_add(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = op[6](regs[op[4]] + regs[op[5]])
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_sub(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = op[6](regs[op[4]] - regs[op[5]])
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_mul(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = op[6](regs[op[4]] * regs[op[5]])
+    frame.pc = op[2]
+    return op[7]
+
+
+# -- bitwise: (h, op, next, dest, a, b, cost) --
+
+
+def _h_and(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] & regs[op[5]]
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_or(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] | regs[op[5]]
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_xor(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] ^ regs[op[5]]
+    frame.pc = op[2]
+    return op[6]
+
+
+# -- shifts: shl (h, op, next, dest, a, b, bits, wrap, cost);
+#    lshr (h, op, next, dest, a, b, bits, cost);
+#    ashr (h, op, next, dest, a, b, bits, to_signed, wrap, cost) --
+
+
+def _h_shl(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = op[7](regs[op[4]] << (regs[op[5]] % op[6]))
+    frame.pc = op[2]
+    return op[8]
+
+
+def _h_lshr(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] >> (regs[op[5]] % op[6])
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_ashr(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = op[8](op[7](regs[op[4]]) >> (regs[op[5]] % op[6]))
+    frame.pc = op[2]
+    return op[9]
+
+
+# -- integer division: (h, op, next, dest, a, b, to_signed, wrap, cost)
+#    signed; (h, op, next, dest, a, b, cost) unsigned --
+
+
+def _h_sdiv(vm, thread, frame, op):
+    regs = frame.regs
+    to_signed = op[6]
+    sa, sb = to_signed(regs[op[4]]), to_signed(regs[op[5]])
+    if sb == 0:
+        raise TrapError("integer division by zero")
+    regs[op[3]] = op[7](int(sa / sb))
+    frame.pc = op[2]
+    return op[8]
+
+
+def _h_srem(vm, thread, frame, op):
+    regs = frame.regs
+    to_signed = op[6]
+    sa, sb = to_signed(regs[op[4]]), to_signed(regs[op[5]])
+    if sb == 0:
+        raise TrapError("integer division by zero")
+    regs[op[3]] = op[7](sa - int(sa / sb) * sb)
+    frame.pc = op[2]
+    return op[8]
+
+
+def _h_udiv(vm, thread, frame, op):
+    regs = frame.regs
+    b = regs[op[5]]
+    if b == 0:
+        raise TrapError("integer division by zero")
+    regs[op[3]] = regs[op[4]] // b
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_urem(vm, thread, frame, op):
+    regs = frame.regs
+    b = regs[op[5]]
+    if b == 0:
+        raise TrapError("integer division by zero")
+    regs[op[3]] = regs[op[4]] % b
+    frame.pc = op[2]
+    return op[6]
+
+
+# -- float binops: (h, op, next, dest, a, b, cost) --
+
+
+def _h_fadd(vm, thread, frame, op):
+    thread.stats.flops += 1
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] + regs[op[5]]
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fsub(vm, thread, frame, op):
+    thread.stats.flops += 1
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] - regs[op[5]]
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fmul(vm, thread, frame, op):
+    thread.stats.flops += 1
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] * regs[op[5]]
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fdiv(vm, thread, frame, op):
+    thread.stats.flops += 1
+    regs = frame.regs
+    a, b = regs[op[4]], regs[op[5]]
+    if b == 0.0:
+        regs[op[3]] = (
+            float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+        )
+    else:
+        regs[op[3]] = a / b
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_frem(vm, thread, frame, op):
+    import math
+
+    thread.stats.flops += 1
+    regs = frame.regs
+    a, b = regs[op[4]], regs[op[5]]
+    regs[op[3]] = math.fmod(a, b) if b != 0.0 else float("nan")
+    frame.pc = op[2]
+    return op[6]
+
+
+# -- icmp raw: (h, "icmp", next, dest, a, b, cost);
+#    icmp signed: (h, "icmp", next, dest, a, b, to_signed, cost) --
+
+
+def _h_icmp_eq(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] == regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_icmp_ne(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] != regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_icmp_lt(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] < regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_icmp_le(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] <= regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_icmp_gt(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] > regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_icmp_ge(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] >= regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_icmp_slt(vm, thread, frame, op):
+    regs = frame.regs
+    s = op[6]
+    regs[op[3]] = 1 if s(regs[op[4]]) < s(regs[op[5]]) else 0
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_icmp_sle(vm, thread, frame, op):
+    regs = frame.regs
+    s = op[6]
+    regs[op[3]] = 1 if s(regs[op[4]]) <= s(regs[op[5]]) else 0
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_icmp_sgt(vm, thread, frame, op):
+    regs = frame.regs
+    s = op[6]
+    regs[op[3]] = 1 if s(regs[op[4]]) > s(regs[op[5]]) else 0
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_icmp_sge(vm, thread, frame, op):
+    regs = frame.regs
+    s = op[6]
+    regs[op[3]] = 1 if s(regs[op[4]]) >= s(regs[op[5]]) else 0
+    frame.pc = op[2]
+    return op[7]
+
+
+# -- fcmp: (h, "fcmp", next, dest, a, b, cost); ordered comparisons
+#    are naturally False on NaN except "one", which gets a guard --
+
+
+def _h_fcmp_oeq(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] == regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fcmp_one(vm, thread, frame, op):
+    regs = frame.regs
+    a, b = regs[op[4]], regs[op[5]]
+    regs[op[3]] = 1 if (a == a and b == b and a != b) else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fcmp_olt(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] < regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fcmp_ole(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] <= regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fcmp_ogt(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] > regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_fcmp_oge(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = 1 if regs[op[4]] >= regs[op[5]] else 0
+    frame.pc = op[2]
+    return op[6]
+
+
+# -- select: (h, "select", next, dest, cond, tval, fval, cost) --
+
+
+def _h_select(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = regs[op[5]] if regs[op[4]] else regs[op[6]]
+    frame.pc = op[2]
+    return op[7]
+
+
+# -- ptradd: (h, "ptradd", next, dest, ptr, off, to_signed, cost) --
+
+
+def _h_ptradd(vm, thread, frame, op):
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]] + op[6](regs[op[5]])
+    frame.pc = op[2]
+    return op[7]
+
+
+# -- casts --
+
+
+def _h_zext(vm, thread, frame, op):
+    # (h, op, next, dest, src, cost)
+    regs = frame.regs
+    regs[op[3]] = int(regs[op[4]])
+    frame.pc = op[2]
+    return op[5]
+
+
+def _h_copy(vm, thread, frame, op):
+    # ptrtoint/inttoptr/bitcast: (h, op, next, dest, src, cost)
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]]
+    frame.pc = op[2]
+    return op[5]
+
+
+def _h_sext(vm, thread, frame, op):
+    # (h, op, next, dest, src, to_signed, wrap, cost)
+    regs = frame.regs
+    regs[op[3]] = op[6](op[5](int(regs[op[4]])))
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_trunc(vm, thread, frame, op):
+    # (h, op, next, dest, src, wrap, cost)
+    regs = frame.regs
+    regs[op[3]] = op[5](int(regs[op[4]]))
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_sitofp(vm, thread, frame, op):
+    # (h, op, next, dest, src, to_signed, cost)
+    regs = frame.regs
+    regs[op[3]] = float(op[5](int(regs[op[4]])))
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_uitofp(vm, thread, frame, op):
+    # (h, op, next, dest, src, cost)
+    regs = frame.regs
+    regs[op[3]] = float(int(regs[op[4]]))
+    frame.pc = op[2]
+    return op[5]
+
+
+def _h_fptosi(vm, thread, frame, op):
+    # (h, op, next, dest, src, wrap, cost)
+    regs = frame.regs
+    regs[op[3]] = op[5](int(float(regs[op[4]])))
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_tofloat(vm, thread, frame, op):
+    # fpext/fptrunc: (h, op, next, dest, src, cost)
+    regs = frame.regs
+    regs[op[3]] = float(regs[op[4]])
+    frame.pc = op[2]
+    return op[5]
+
+
+# -- alloca: (h, "alloca", next, dest, size, align, cost) --
+
+
+def _h_alloca(vm, thread, frame, op):
+    seg = thread.local_seg
+    if seg is None:
+        seg = thread.local_seg = vm.memory.local_segment(
+            thread.team_id, thread.thread_id
+        )
+    frame.regs[op[3]] = seg.allocate(op[4], op[5])
+    frame.pc = op[2]
+    return op[6]
+
+
+# -- load: int/ptr (h, "load", next, dest, ptr, size, ty, costs);
+#    float adds the prebound Struct.unpack_from at op[8] --
+
+
+def _h_load_int(vm, thread, frame, op):
+    regs = frame.regs
+    ptr = regs[op[4]]
+    tag = ptr >> 48
+    off = ptr & OFFSET_MASK
+    size = op[5]
+    seg = _segment(vm, thread, tag)
+    if seg is None or off == 0 or off + size > len(seg.data):
+        # Slow path exists purely so errors (null/unmapped/out of
+        # bounds) are raised by the same code as the legacy engine.
+        regs[op[3]] = vm.memory.load(ptr, op[6], thread.team_id, thread.thread_id)
+    else:
+        regs[op[3]] = int.from_bytes(seg.data[off : off + size], "little")
+    thread.stats.loads_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:  # space missing from the cost table: legacy KeyError
+        c = vm.cost.load_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
+def _h_load_f(vm, thread, frame, op):
+    regs = frame.regs
+    ptr = regs[op[4]]
+    tag = ptr >> 48
+    off = ptr & OFFSET_MASK
+    size = op[5]
+    seg = _segment(vm, thread, tag)
+    if seg is None or off == 0 or off + size > len(seg.data):
+        regs[op[3]] = vm.memory.load(ptr, op[6], thread.team_id, thread.thread_id)
+    else:
+        regs[op[3]] = op[8](seg.data, off)[0]
+    thread.stats.loads_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:
+        c = vm.cost.load_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
+# -- store: (h, "store", next, ptr, val, size, ty, costs, extra);
+#    extra is ty.wrap for ints, Struct.pack_into for floats, absent
+#    for pointers --
+
+
+def _h_store_int(vm, thread, frame, op):
+    regs = frame.regs
+    ptr = regs[op[3]]
+    tag = ptr >> 48
+    off = ptr & OFFSET_MASK
+    size = op[5]
+    seg = _segment(vm, thread, tag)
+    if seg is None or off == 0 or off + size > len(seg.data):
+        vm.memory.store(ptr, regs[op[4]], op[6], thread.team_id, thread.thread_id)
+    else:
+        seg.data[off : off + size] = op[8](int(regs[op[4]])).to_bytes(size, "little")
+    thread.stats.stores_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:
+        c = vm.cost.store_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
+def _h_store_ptr(vm, thread, frame, op):
+    regs = frame.regs
+    ptr = regs[op[3]]
+    tag = ptr >> 48
+    off = ptr & OFFSET_MASK
+    size = op[5]
+    seg = _segment(vm, thread, tag)
+    if seg is None or off == 0 or off + size > len(seg.data):
+        vm.memory.store(ptr, regs[op[4]], op[6], thread.team_id, thread.thread_id)
+    else:
+        seg.data[off : off + size] = int(regs[op[4]]).to_bytes(size, "little")
+    thread.stats.stores_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:
+        c = vm.cost.store_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
+def _h_store_f(vm, thread, frame, op):
+    regs = frame.regs
+    ptr = regs[op[3]]
+    tag = ptr >> 48
+    off = ptr & OFFSET_MASK
+    size = op[5]
+    seg = _segment(vm, thread, tag)
+    if seg is None or off == 0 or off + size > len(seg.data):
+        vm.memory.store(ptr, regs[op[4]], op[6], thread.team_id, thread.thread_id)
+    else:
+        op[8](seg.data, off, float(regs[op[4]]))
+    thread.stats.stores_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:
+        c = vm.cost.store_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
+# -- atomicrmw: (h, "atomicrmw", next, dest, ptr, val, opstr, ty, cost) --
+
+
+def _h_atomicrmw(vm, thread, frame, op):
+    regs = frame.regs
+    ptr = int(regs[op[4]])
+    ty = op[7]
+    team, tid = thread.team_id, thread.thread_id
+    memory = vm.memory
+    with DEVICE_LOCK:
+        old = memory.load(ptr, ty, team, tid)
+        memory.store(ptr, atomic_apply(op[6], old, regs[op[5]], ty), ty, team, tid)
+    regs[op[3]] = old
+    frame.pc = op[2]
+    return op[8]
+
+
+# -- branches; phi moves are parallel copies ((dest, src), ...) --
+
+
+def _h_jump(vm, thread, frame, op):
+    # (h, "br", target, cost)
+    frame.pc = op[2]
+    return op[3]
+
+
+def _h_br1(vm, thread, frame, op):
+    # single phi move: (h, "br", target, dest, src, cost)
+    regs = frame.regs
+    regs[op[3]] = regs[op[4]]
+    frame.pc = op[2]
+    return op[5]
+
+
+def _h_brn(vm, thread, frame, op):
+    # (h, "br", target, moves, cost)
+    regs = frame.regs
+    moves = op[3]
+    staged = [regs[s] for _, s in moves]
+    for (d, _), v in zip(moves, staged):
+        regs[d] = v
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_condbr(vm, thread, frame, op):
+    # (h, "condbr", 0, cond, true_pc, true_moves, false_pc, false_moves, cost)
+    regs = frame.regs
+    if regs[op[3]]:
+        pc, moves = op[4], op[5]
+    else:
+        pc, moves = op[6], op[7]
+    if moves:
+        staged = [regs[s] for _, s in moves]
+        for (d, _), v in zip(moves, staged):
+            regs[d] = v
+    frame.pc = pc
+    return op[8]
+
+
+# -- ret/unreachable --
+
+
+def _h_ret(vm, thread, frame, op):
+    # (h, "ret", 0, value_slot_or_-1)
+    frames = thread.frames
+    frames.pop()
+    if not frames:
+        thread.status = _DONE
+        return 0
+    v = op[3]
+    if v >= 0:
+        frames[-1].regs[frame.ret_dest] = frame.regs[v]
+    return 0
+
+
+def _h_unreachable(vm, thread, frame, op):
+    raise TrapError(
+        f"unreachable executed in @{frame.function.name} "
+        f"(team {thread.team_id}, thread {thread.thread_id})"
+    )
+
+
+# -- calls --
+
+
+def _push_call(vm, thread, frame, next_pc, dest, callee, arg_slots):
+    bound = vm._bound_cache.get(callee)
+    if bound is None:
+        bound = bind_function(vm, callee)
+    code = bound.code
+    nregs = bound.init_regs.copy()
+    regs = frame.regs
+    for slot, co, a in zip(code.arg_slots, code.arg_coerce, arg_slots):
+        nregs[slot] = co(regs[a])
+    frame.pc = next_pc
+    frames = thread.frames
+    frames.append(DecodedFrame(code.ops, nregs, code.entry_pc, dest, callee))
+    if len(frames) > 512:
+        raise SimulationError(
+            f"call stack overflow in @{callee.name} "
+            f"(team {thread.team_id}, thread {thread.thread_id})"
+        )
+
+
+def _h_call(vm, thread, frame, op):
+    # direct call: (h, "call", next, dest, callee, arg_slots, cost)
+    _push_call(vm, thread, frame, op[2], op[3], op[4], op[5])
+    return op[6]
+
+
+def _h_badcall(vm, thread, frame, op):
+    # (h, "call", 0, callee_name)
+    raise SimulationError(f"call to undefined function @{op[3]}")
+
+
+def _h_raise(vm, thread, frame, op):
+    # decode-time detected error raised only if executed: (h, "call", 0, msg)
+    raise SimulationError(op[3])
+
+
+def _h_icall(vm, thread, frame, op):
+    # indirect call: (h, "call", next, dest, callee_slot, arg_slots, inst, coerce)
+    regs = frame.regs
+    address = int(regs[op[4]])
+    callee = vm._functions_by_address.get(address)
+    if callee is None:
+        raise SimulationError(
+            f"indirect call to unmapped address {address:#x} in "
+            f"@{frame.function.name}"
+        )
+    info = intrinsic_info(callee.name)
+    if info is not None:
+        argv = [regs[a] for a in op[5]]
+        return _run_intrinsic(
+            vm, thread, frame, callee.name, info, argv, op[3], op[7], op[6], op[2]
+        )
+    if callee.is_declaration:
+        raise SimulationError(f"call to undefined function @{callee.name}")
+    if len(op[5]) != len(callee.args):
+        raise SimulationError(
+            f"call to @{callee.name}: {len(op[5])} args for "
+            f"{len(callee.args)} params"
+        )
+    _push_call(vm, thread, frame, op[2], op[3], callee, op[5])
+    return vm.cost.config.call_cost
+
+
+# -- intrinsics --
+
+
+def _h_barrier(vm, thread, frame, op):
+    # (h, "call", next, inst, cost)
+    thread.status = _AT_BARRIER
+    thread.barrier_call = op[3]
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_thread_id(vm, thread, frame, op):
+    # (h, "call", next, dest, cost)
+    frame.regs[op[3]] = thread.thread_id
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_block_id(vm, thread, frame, op):
+    frame.regs[op[3]] = thread.team_id
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_block_dim(vm, thread, frame, op):
+    frame.regs[op[3]] = vm._launch.threads_per_team
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_grid_dim(vm, thread, frame, op):
+    frame.regs[op[3]] = vm._launch.num_teams
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_const_result(vm, thread, frame, op):
+    # folded intrinsic result (gpu.warp_size): (h, "call", next, dest, value, cost)
+    frame.regs[op[3]] = op[4]
+    frame.pc = op[2]
+    return op[5]
+
+
+def _h_lane_id(vm, thread, frame, op):
+    # (h, "call", next, dest, warp_size, cost)
+    frame.regs[op[3]] = thread.thread_id % op[4]
+    frame.pc = op[2]
+    return op[5]
+
+
+def _h_assume(vm, thread, frame, op):
+    # (h, "call", next, arg_slot, cost)
+    if vm.debug_checks and not frame.regs[op[3]]:
+        raise AssumptionViolation(
+            f"assumption violated in @{frame.function.name} "
+            f"(team {thread.team_id}, thread {thread.thread_id})"
+        )
+    frame.pc = op[2]
+    return op[4]
+
+
+def _h_expect(vm, thread, frame, op):
+    # (h, "call", next, dest, arg, coerce, cost)
+    regs = frame.regs
+    regs[op[3]] = op[5](regs[op[4]])
+    frame.pc = op[2]
+    return op[6]
+
+
+def _h_math1(vm, thread, frame, op):
+    # (h, "call", next, dest, a, fn, coerce, cost)
+    thread.stats.flops += 1
+    regs = frame.regs
+    regs[op[3]] = op[6](op[5](float(regs[op[4]])))
+    frame.pc = op[2]
+    return op[7]
+
+
+def _h_math2(vm, thread, frame, op):
+    # (h, "call", next, dest, a, b, fn, coerce, cost)
+    thread.stats.flops += 1
+    regs = frame.regs
+    regs[op[3]] = op[7](op[6](float(regs[op[4]]), float(regs[op[5]])))
+    frame.pc = op[2]
+    return op[8]
+
+
+def _h_intrin(vm, thread, frame, op):
+    # generic: (h, "call", next, dest, name, info, arg_slots, coerce, inst)
+    regs = frame.regs
+    argv = [regs[a] for a in op[6]]
+    return _run_intrinsic(
+        vm, thread, frame, op[4], op[5], argv, op[3], op[7], op[8], op[2]
+    )
+
+
+def _run_intrinsic(vm, thread, frame, name, info, argv, dest, coerce, inst, next_pc):
+    """Generic intrinsic execution — mirrors the legacy engine's
+    ``_execute_intrinsic`` step for step (the hot intrinsics never get
+    here; they have specialized handlers)."""
+    cycles = info.cost
+    if info.is_barrier:
+        thread.status = _AT_BARRIER
+        thread.barrier_call = inst
+        frame.pc = next_pc
+        return cycles
+
+    stats = thread.stats
+    result = None
+    if name == "gpu.thread_id":
+        result = thread.thread_id
+    elif name == "gpu.block_id":
+        result = thread.team_id
+    elif name == "gpu.block_dim":
+        result = vm._launch.threads_per_team
+    elif name == "gpu.grid_dim":
+        result = vm._launch.num_teams
+    elif name == "gpu.warp_size":
+        result = vm.config.warp_size
+    elif name == "gpu.lane_id":
+        result = thread.thread_id % vm.config.warp_size
+    elif name == "gpu.dynamic_shared":
+        base = vm._dynamic_shared_base.get(thread.team_id)
+        if base is None:
+            raise SimulationError(
+                "gpu.dynamic_shared used but the launch reserved no "
+                "dynamic shared memory"
+            )
+        result = base
+    elif name == "llvm.assume":
+        if vm.debug_checks and not argv[0]:
+            raise AssumptionViolation(
+                f"assumption violated in @{frame.function.name} "
+                f"(team {thread.team_id}, thread {thread.thread_id})"
+            )
+    elif name == "llvm.expect":
+        result = argv[0]
+    elif name == "llvm.trap":
+        msg = stats.output[-1] if stats.output else "llvm.trap"
+        raise TrapError(
+            f"trap in @{frame.function.name} "
+            f"(team {thread.team_id}, thread {thread.thread_id}): {msg}"
+        )
+    elif name == "rt.print_i64":
+        stats.output.append(str(_I64_TO_SIGNED(int(argv[0]))))
+    elif name == "rt.print_f64":
+        stats.output.append(repr(float(argv[0])))
+    elif name == "rt.print_str":
+        addr = int(argv[0])
+        stats.output.append(vm._string_table.get(addr, f"<str {addr:#x}>"))
+    elif name == "malloc":
+        result = vm.memory.malloc(int(argv[0]))
+    elif name == "free":
+        vm.memory.free(int(argv[0]))
+    elif name == "llvm.memset":
+        vm.memory.memset(
+            int(argv[0]), int(argv[1]), int(argv[2]), thread.team_id, thread.thread_id
+        )
+        cycles += int(argv[2]) // 8
+    elif name == "llvm.memcpy":
+        vm.memory.memcpy(
+            int(argv[0]), int(argv[1]), int(argv[2]), thread.team_id, thread.thread_id
+        )
+        cycles += int(argv[2]) // 4
+    else:
+        result = math_intrinsic(name, argv)
+        stats.flops += 1
+
+    if result is not None:
+        frame.regs[dest] = coerce(result)
+    frame.pc = next_pc
+    return cycles
+
+
+# ===================================================================
+# Decoder
+# ===================================================================
+
+_SIGNED_PREDS = {"slt", "sle", "sgt", "sge"}
+
+_ICMP_RAW = {
+    "eq": _h_icmp_eq, "ne": _h_icmp_ne,
+    "ult": _h_icmp_lt, "ule": _h_icmp_le,
+    "ugt": _h_icmp_gt, "uge": _h_icmp_ge,
+    # signed predicates on pointer-typed operands compare raw, exactly
+    # like the legacy engine (to_signed is only applied to IntType).
+    "slt": _h_icmp_lt, "sle": _h_icmp_le,
+    "sgt": _h_icmp_gt, "sge": _h_icmp_ge,
+}
+
+_ICMP_SIGNED = {
+    "slt": _h_icmp_slt, "sle": _h_icmp_sle,
+    "sgt": _h_icmp_sgt, "sge": _h_icmp_sge,
+}
+
+_FCMP = {
+    "oeq": _h_fcmp_oeq, "one": _h_fcmp_one,
+    "olt": _h_fcmp_olt, "ole": _h_fcmp_ole,
+    "ogt": _h_fcmp_ogt, "oge": _h_fcmp_oge,
+}
+
+_CAST = {
+    "zext": _h_zext,
+    "sext": _h_sext,
+    "trunc": _h_trunc,
+    "sitofp": _h_sitofp,
+    "uitofp": _h_uitofp,
+    "fptosi": _h_fptosi,
+    "fpext": _h_tofloat,
+    "fptrunc": _h_tofloat,
+    "ptrtoint": _h_copy,
+    "inttoptr": _h_copy,
+    "bitcast": _h_copy,
+}
+
+_FLOAT_FMT = {32: "<f", 64: "<d"}
+
+
+def _cost_by_tag(cost_table) -> Tuple[Optional[int], ...]:
+    """Per-tag cost tuple indexed by ``ptr >> 48``; None defers to the
+    cost model (reproducing its KeyError for unpriced spaces)."""
+    return tuple(
+        cost_table.get(space) if space is not None else None
+        for space in _SPACE_BY_TAG
+    )
+
+
+def decode_function(func: Function, cost: CostModel, warp_size: int) -> DecodedFunction:
+    """One-time static decode of *func* (device-independent)."""
+
+    cfg = cost.config
+    code = DecodedFunction(func)
+    slot_map: Dict[int, int] = {}  # keyed by id(): Constant __eq__ is by value
+    for arg in func.args:
+        slot_map[id(arg)] = len(slot_map)
+    for block in func.blocks:
+        for inst in block.instructions:
+            slot_map[id(inst)] = len(slot_map)
+
+    static_init = code.static_init
+    global_fixups = code.global_fixups
+    func_fixups = code.func_fixups
+
+    def operand(v) -> int:
+        s = slot_map.get(id(v))
+        if s is not None:
+            return s
+        s = len(slot_map)
+        slot_map[id(v)] = s
+        if isinstance(v, Constant):
+            static_init.append((s, v.value))
+        elif isinstance(v, GlobalVariable):
+            global_fixups.append((s, v))
+        elif isinstance(v, Function):
+            func_fixups.append((s, v))
+        elif isinstance(v, UndefValue):
+            static_init.append((s, 0))
+        else:  # pragma: no cover - verifier rejects other operand kinds
+            raise SimulationError(f"cannot evaluate {v!r}")
+        return s
+
+    # Absolute pc of each block (phis emit no ops).
+    start_pc: Dict[object, int] = {}
+    n = 0
+    for block in func.blocks:
+        start_pc[block] = n
+        n += sum(1 for i in block.instructions if not isinstance(i, Phi))
+
+    load_costs = _cost_by_tag(cfg.load_cost)
+    store_costs = _cost_by_tag(cfg.store_cost)
+
+    def edge(pred, target):
+        """Branch-edge descriptor: (target pc, phi parallel-copy moves)."""
+        moves = tuple(
+            (slot_map[id(phi)], operand(phi.incoming_value_for(pred)))
+            for phi in target.phis()
+        )
+        return start_pc[target], moves
+
+    def emit_binop(inst: BinOp, next_pc: int):
+        d = slot_map[id(inst)]
+        a, b = operand(inst.lhs), operand(inst.rhs)
+        opn = inst.opcode
+        c = cost.binop_cost(inst)
+        ty = inst.type
+        if isinstance(ty, FloatType):
+            h = {
+                "fadd": _h_fadd, "fsub": _h_fsub, "fmul": _h_fmul,
+                "fdiv": _h_fdiv, "frem": _h_frem,
+            }[opn]
+            return (h, opn, next_pc, d, a, b, c)
+        ity = ty if isinstance(ty, IntType) else I64
+        if opn == "add":
+            return (_h_add, opn, next_pc, d, a, b, ity.wrap, c)
+        if opn == "sub":
+            return (_h_sub, opn, next_pc, d, a, b, ity.wrap, c)
+        if opn == "mul":
+            return (_h_mul, opn, next_pc, d, a, b, ity.wrap, c)
+        if opn == "and":
+            return (_h_and, opn, next_pc, d, a, b, c)
+        if opn == "or":
+            return (_h_or, opn, next_pc, d, a, b, c)
+        if opn == "xor":
+            return (_h_xor, opn, next_pc, d, a, b, c)
+        if opn == "shl":
+            return (_h_shl, opn, next_pc, d, a, b, ity.bits, ity.wrap, c)
+        if opn == "lshr":
+            return (_h_lshr, opn, next_pc, d, a, b, ity.bits, c)
+        if opn == "ashr":
+            return (_h_ashr, opn, next_pc, d, a, b, ity.bits, ity.to_signed, ity.wrap, c)
+        if opn == "sdiv":
+            return (_h_sdiv, opn, next_pc, d, a, b, ity.to_signed, ity.wrap, c)
+        if opn == "srem":
+            return (_h_srem, opn, next_pc, d, a, b, ity.to_signed, ity.wrap, c)
+        if opn == "udiv":
+            return (_h_udiv, opn, next_pc, d, a, b, c)
+        if opn == "urem":
+            return (_h_urem, opn, next_pc, d, a, b, c)
+        raise SimulationError(f"unhandled binop {opn} on {ty}")  # pragma: no cover
+
+    def emit_load(inst: Load, next_pc: int):
+        ty = inst.type
+        d, p = slot_map[id(inst)], operand(inst.pointer)
+        size = scalar_size(ty)
+        if isinstance(ty, FloatType):
+            unpack = struct.Struct(_FLOAT_FMT[ty.bits]).unpack_from
+            return (_h_load_f, "load", next_pc, d, p, size, ty, load_costs, unpack)
+        return (_h_load_int, "load", next_pc, d, p, size, ty, load_costs)
+
+    def emit_store(inst: Store, next_pc: int):
+        ty = inst.value.type
+        p, v = operand(inst.pointer), operand(inst.value)
+        size = scalar_size(ty)
+        if isinstance(ty, FloatType):
+            pack = struct.Struct(_FLOAT_FMT[ty.bits]).pack_into
+            return (_h_store_f, "store", next_pc, p, v, size, ty, store_costs, pack)
+        if isinstance(ty, IntType):
+            return (_h_store_int, "store", next_pc, p, v, size, ty, store_costs, ty.wrap)
+        return (_h_store_ptr, "store", next_pc, p, v, size, ty, store_costs)
+
+    def emit_icmp(inst: ICmp, next_pc: int):
+        d = slot_map[id(inst)]
+        a, b = operand(inst.lhs), operand(inst.rhs)
+        pred = inst.predicate
+        ty = inst.lhs.type
+        c = cfg.int_op_cost
+        if pred in _SIGNED_PREDS and isinstance(ty, IntType):
+            return (_ICMP_SIGNED[pred], "icmp", next_pc, d, a, b, ty.to_signed, c)
+        return (_ICMP_RAW[pred], "icmp", next_pc, d, a, b, c)
+
+    def emit_fcmp(inst: FCmp, next_pc: int):
+        d = slot_map[id(inst)]
+        a, b = operand(inst.operands[0]), operand(inst.operands[1])
+        return (_FCMP[inst.predicate], "fcmp", next_pc, d, a, b, cfg.int_op_cost)
+
+    def emit_select(inst: Select, next_pc: int):
+        return (
+            _h_select, "select", next_pc, slot_map[id(inst)],
+            operand(inst.condition), operand(inst.true_value),
+            operand(inst.false_value), cfg.select_cost,
+        )
+
+    def emit_cast(inst: Cast, next_pc: int):
+        d, s = slot_map[id(inst)], operand(inst.source)
+        opn = inst.opcode
+        h = _CAST[opn]
+        c = cfg.cast_cost
+        src_ty, dst_ty = inst.source.type, inst.type
+        if opn == "sext":
+            return (h, opn, next_pc, d, s, src_ty.to_signed, dst_ty.wrap, c)
+        if opn == "trunc":
+            return (h, opn, next_pc, d, s, dst_ty.wrap, c)
+        if opn == "sitofp":
+            return (h, opn, next_pc, d, s, src_ty.to_signed, c)
+        if opn == "fptosi":
+            return (h, opn, next_pc, d, s, dst_ty.wrap, c)
+        return (h, opn, next_pc, d, s, c)
+
+    def emit_ptradd(inst: PtrAdd, next_pc: int):
+        offset_ty = inst.offset.type
+        assert isinstance(offset_ty, IntType)
+        return (
+            _h_ptradd, "ptradd", next_pc, slot_map[id(inst)],
+            operand(inst.pointer), operand(inst.offset),
+            offset_ty.to_signed, cfg.int_op_cost,
+        )
+
+    def emit_alloca(inst: Alloca, next_pc: int):
+        return (
+            _h_alloca, "alloca", next_pc, slot_map[id(inst)],
+            DATA_LAYOUT.size_of(inst.allocated_type),
+            DATA_LAYOUT.align_of(inst.allocated_type),
+            cfg.alloca_cost,
+        )
+
+    def emit_atomicrmw(inst: AtomicRMW, next_pc: int):
+        return (
+            _h_atomicrmw, "atomicrmw", next_pc, slot_map[id(inst)],
+            operand(inst.pointer), operand(inst.value),
+            inst.operation, inst.value.type, cfg.atomic_cost,
+        )
+
+    def emit_br(inst: Br, next_pc: int):
+        target, moves = edge(inst.parent, inst.target)
+        c = cfg.branch_cost
+        if not moves:
+            return (_h_jump, "br", target, c)
+        if len(moves) == 1:
+            return (_h_br1, "br", target, moves[0][0], moves[0][1], c)
+        return (_h_brn, "br", target, moves, c)
+
+    def emit_condbr(inst: CondBr, next_pc: int):
+        t_pc, t_mv = edge(inst.parent, inst.true_target)
+        f_pc, f_mv = edge(inst.parent, inst.false_target)
+        return (
+            _h_condbr, "condbr", 0, operand(inst.condition),
+            t_pc, t_mv, f_pc, f_mv, cfg.branch_cost,
+        )
+
+    def emit_ret(inst: Ret, next_pc: int):
+        rv = inst.return_value
+        return (_h_ret, "ret", 0, operand(rv) if rv is not None else -1)
+
+    def emit_unreachable(inst: Unreachable, next_pc: int):
+        return (_h_unreachable, "unreachable", 0)
+
+    def emit_intrinsic(inst: Call, name: str, info, next_pc: int):
+        d = slot_map[id(inst)]
+        c = info.cost
+        if info.is_barrier:
+            return (_h_barrier, "call", next_pc, inst, c)
+        if name == "gpu.thread_id":
+            return (_h_thread_id, "call", next_pc, d, c)
+        if name == "gpu.block_id":
+            return (_h_block_id, "call", next_pc, d, c)
+        if name == "gpu.block_dim":
+            return (_h_block_dim, "call", next_pc, d, c)
+        if name == "gpu.grid_dim":
+            return (_h_grid_dim, "call", next_pc, d, c)
+        if name == "gpu.warp_size":
+            return (_h_const_result, "call", next_pc, d, warp_size, c)
+        if name == "gpu.lane_id":
+            return (_h_lane_id, "call", next_pc, d, warp_size, c)
+        if name == "llvm.assume":
+            return (_h_assume, "call", next_pc, operand(inst.args[0]), c)
+        if name == "llvm.expect":
+            return (
+                _h_expect, "call", next_pc, d,
+                operand(inst.args[0]), make_coerce(inst.type), c,
+            )
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "llvm":
+            fn = MATH_UNARY.get(parts[1])
+            if fn is not None:
+                return (
+                    _h_math1, "call", next_pc, d,
+                    operand(inst.args[0]), fn, make_coerce(inst.type), c,
+                )
+            fn2 = MATH_BINARY.get(parts[1])
+            if fn2 is not None:
+                return (
+                    _h_math2, "call", next_pc, d,
+                    operand(inst.args[0]), operand(inst.args[1]),
+                    fn2, make_coerce(inst.type), c,
+                )
+        arg_slots = tuple(operand(a) for a in inst.args)
+        return (
+            _h_intrin, "call", next_pc, d,
+            name, info, arg_slots, make_coerce(inst.type), inst,
+        )
+
+    def emit_call(inst: Call, next_pc: int):
+        callee = inst.callee
+        d = slot_map[id(inst)]
+        if callee is None:
+            arg_slots = tuple(operand(a) for a in inst.args)
+            return (
+                _h_icall, "call", next_pc, d,
+                operand(inst.callee_operand), arg_slots, inst,
+                make_coerce(inst.type),
+            )
+        info = intrinsic_info(callee.name)
+        if info is not None:
+            return emit_intrinsic(inst, callee.name, info, next_pc)
+        if callee.is_declaration:
+            return (_h_badcall, "call", 0, callee.name)
+        if len(inst.args) != len(callee.args):
+            return (
+                _h_raise, "call", 0,
+                f"call to @{callee.name}: {len(inst.args)} args for "
+                f"{len(callee.args)} params",
+            )
+        arg_slots = tuple(operand(a) for a in inst.args)
+        return (_h_call, "call", next_pc, d, callee, arg_slots, cfg.call_cost)
+
+    emitters = {
+        BinOp: emit_binop,
+        Load: emit_load,
+        Store: emit_store,
+        ICmp: emit_icmp,
+        FCmp: emit_fcmp,
+        Select: emit_select,
+        Cast: emit_cast,
+        PtrAdd: emit_ptradd,
+        Alloca: emit_alloca,
+        AtomicRMW: emit_atomicrmw,
+        Br: emit_br,
+        CondBr: emit_condbr,
+        Ret: emit_ret,
+        Unreachable: emit_unreachable,
+        Call: emit_call,
+    }
+
+    ops = code.ops
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                continue
+            emitter = emitters.get(type(inst))
+            if emitter is None:  # pragma: no cover
+                raise SimulationError(f"unhandled instruction {inst.opcode}")
+            ops.append(emitter(inst, len(ops) + 1))
+
+    code.entry_pc = start_pc[func.entry]
+    code.num_slots = len(slot_map)
+    code.arg_slots = tuple(slot_map[id(a)] for a in func.args)
+    code.arg_coerce = tuple(make_coerce(a.type) for a in func.args)
+    return code
+
+
+# -- per-device decode + bind --------------------------------------------------
+
+
+def bind_function(vm, func: Function) -> BoundFunction:
+    """Decode *func* and bind it to *vm*'s address map; cached per
+    :class:`VirtualGPU` in ``vm._bound_cache``.
+
+    The cache is deliberately per device rather than process-wide:
+    optimization passes mutate functions in place, so a decode keyed
+    on the function's identity could outlive the IR it came from (a
+    device created after an in-place optimization must see the IR as
+    it stands now).  Decode is one linear pass over the function —
+    microseconds against the seconds a launch simulates.
+    """
+    bound = vm._bound_cache.get(func)
+    if bound is not None:
+        return bound
+    code = decode_function(func, vm.cost, vm.config.warp_size)
+    init: List = [None] * code.num_slots
+    for s, v in code.static_init:
+        init[s] = v
+    for s, gv in code.global_fixups:
+        init[s] = vm.global_addresses[gv]
+    for s, f in code.func_fixups:
+        init[s] = vm.function_addresses[f]
+    bound = BoundFunction(code, init)
+    vm._bound_cache[func] = bound
+    return bound
+
+
+# ===================================================================
+# Execution
+# ===================================================================
+
+
+def make_kernel_frame(vm, func: Function, args) -> DecodedFrame:
+    bound = bind_function(vm, func)
+    code = bound.code
+    regs = bound.init_regs.copy()
+    for slot, co, actual in zip(code.arg_slots, code.arg_coerce, args):
+        regs[slot] = co(actual)
+    return DecodedFrame(code.ops, regs, code.entry_pc, -1, func)
+
+
+def run_thread(vm, thread: ThreadContext) -> None:
+    """Run *thread* until it terminates or arrives at a barrier.
+
+    Steps and cycles accumulate in locals and are flushed on every
+    exit path (including exceptions), so the profile counters match
+    the legacy engine even on traps and step-limit aborts.
+    """
+    max_steps = vm.config.max_steps_per_thread
+    counts = thread.stats.opcode_counts
+    frames = thread.frames
+    steps = thread.steps
+    cycles = 0
+    try:
+        while thread.status is _RUNNING:
+            frame = frames[-1]
+            op = frame.ops[frame.pc]
+            steps += 1
+            if steps > max_steps:
+                raise StepLimitExceeded(
+                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
+                    f"{max_steps} steps in @{frame.function.name}"
+                )
+            counts[op[1]] += 1
+            cycles += op[0](vm, thread, frame, op)
+    except TypeError as exc:
+        # A None register means an SSA value was read before any
+        # definition executed — the decoded-engine analogue of the
+        # legacy "use of undefined value" error.
+        raise SimulationError(
+            f"use of undefined value in @{frames[-1].function.name}: {exc}"
+            if frames
+            else f"use of undefined value: {exc}"
+        ) from exc
+    finally:
+        thread.steps = steps
+        thread.phase_cycles += cycles
+    if thread.status is _DONE:
+        thread.total_cycles += thread.phase_cycles

@@ -1,0 +1,206 @@
+"""Execution state and scalar semantics shared by both engines.
+
+The virtual GPU has two execution engines — the legacy tree-walking
+interpreter (:mod:`repro.vgpu.interpreter`) and the pre-decoded engine
+(:mod:`repro.vgpu.decode`).  Everything they must agree on bit-for-bit
+lives here: thread/frame state, argument coercion, atomic-RMW and math
+intrinsic semantics.  Keeping one implementation is what makes the
+differential tests (decoded vs. legacy) a check of *representation*
+only, not of arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.ir.instructions import Call
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import FloatType, IntType, Type
+from repro.ir.values import Value
+from repro.vgpu.errors import SimulationError
+
+Scalar = Union[int, float]
+
+
+class ThreadStatus(enum.Enum):
+    RUNNING = "running"
+    AT_BARRIER = "at_barrier"
+    DONE = "done"
+
+
+class Frame:
+    """One activation record of the legacy (tree-walking) engine."""
+
+    __slots__ = ("function", "block", "index", "values", "call_site", "pred_block")
+
+    def __init__(self, function: Function, call_site: Optional[Call]) -> None:
+        self.function = function
+        self.block: BasicBlock = function.entry
+        self.index = 0
+        self.values: Dict[Value, Scalar] = {}
+        self.call_site = call_site
+        self.pred_block: Optional[BasicBlock] = None
+
+
+class ThreadContext:
+    """Execution state of one GPU thread.
+
+    ``frames`` holds :class:`Frame` records under the legacy engine and
+    :class:`repro.vgpu.decode.DecodedFrame` records under the decoded
+    engine; the team driver only looks at ``status``/``phase_cycles``
+    and is engine-agnostic.  ``stats`` points at the owning team's
+    :class:`~repro.vgpu.profiler.TeamStats` accumulator; ``local_seg``
+    and ``shared_seg`` cache the thread's memory segments so the hot
+    paths skip the per-access segment lookup.
+    """
+
+    __slots__ = (
+        "team_id",
+        "thread_id",
+        "frames",
+        "status",
+        "phase_cycles",
+        "total_cycles",
+        "steps",
+        "barrier_call",
+        "stats",
+        "local_seg",
+        "shared_seg",
+    )
+
+    def __init__(self, team_id: int, thread_id: int) -> None:
+        self.team_id = team_id
+        self.thread_id = thread_id
+        self.frames: List = []
+        self.status = ThreadStatus.RUNNING
+        self.phase_cycles = 0
+        self.total_cycles = 0
+        self.steps = 0
+        self.barrier_call: Optional[Call] = None
+        self.stats = None
+        self.local_seg = None
+        self.shared_seg = None
+
+    def reset(self, team_id: int) -> None:
+        """Recycle this context for another team (allocation reuse)."""
+        self.team_id = team_id
+        self.frames.clear()
+        self.status = ThreadStatus.RUNNING
+        self.phase_cycles = 0
+        self.total_cycles = 0
+        self.steps = 0
+        self.barrier_call = None
+        self.stats = None
+        self.local_seg = None
+        self.shared_seg = None
+
+    @property
+    def frame(self):
+        return self.frames[-1]
+
+
+# ------------------------------------------------------------- coercion --
+
+
+def coerce_value(value: Scalar, ty: Type) -> Scalar:
+    """Bring *value* into the canonical register representation of *ty*
+    (wrapped int for integers, float for floats, raw int otherwise)."""
+    if isinstance(ty, IntType):
+        return ty.wrap(int(value))
+    if isinstance(ty, FloatType):
+        return float(value)
+    return int(value)
+
+
+def make_coerce(ty: Type) -> Callable[[Scalar], Scalar]:
+    """Decode-time specialization of :func:`coerce_value` for *ty*."""
+    if isinstance(ty, IntType):
+        wrap = ty.wrap
+        return lambda v: wrap(int(v))
+    if isinstance(ty, FloatType):
+        return float
+    return int
+
+
+# ------------------------------------------------------------ atomic RMW --
+
+
+def atomic_apply(op: str, old: Scalar, operand: Scalar, ty: Type) -> Scalar:
+    """Combine function of ``atomicrmw`` — shared by both engines."""
+    if isinstance(ty, FloatType):
+        a, b = float(old), float(operand)
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "max":
+            return max(a, b)
+        if op == "min":
+            return min(a, b)
+        if op == "exchange":
+            return b
+    assert isinstance(ty, IntType)
+    a, b = int(old), int(operand)
+    if op == "add":
+        return ty.wrap(a + b)
+    if op == "sub":
+        return ty.wrap(a - b)
+    if op == "max":
+        return max(ty.to_signed(a), ty.to_signed(b)) & ty.max_unsigned
+    if op == "min":
+        return min(ty.to_signed(a), ty.to_signed(b)) & ty.max_unsigned
+    if op == "exchange":
+        return b
+    raise SimulationError(f"unhandled atomic {op}")  # pragma: no cover
+
+
+# ---------------------------------------------------------- math intrinsics --
+
+
+def _m_sqrt(x: float) -> float:
+    return math.sqrt(x) if x >= 0 else float("nan")
+
+
+def _m_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return float("inf")
+
+
+def _m_log(x: float) -> float:
+    return math.log(x) if x > 0 else float("-inf")
+
+
+#: llvm.<op>.<suffix> unary math semantics (argument already a float).
+MATH_UNARY: Dict[str, Callable[[float], float]] = {
+    "sqrt": _m_sqrt,
+    "exp": _m_exp,
+    "log": _m_log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "fabs": abs,
+    "floor": math.floor,
+}
+
+#: llvm.<op>.<suffix> binary math semantics.
+MATH_BINARY: Dict[str, Callable[[float, float], float]] = {
+    "pow": math.pow,
+    "fmin": min,
+    "fmax": max,
+}
+
+
+def math_intrinsic(name: str, argv: List[Scalar]) -> Scalar:
+    """Evaluate a ``llvm.<op>.<f32|f64>`` math intrinsic by name."""
+    parts = name.split(".")
+    if len(parts) == 3 and parts[0] == "llvm":
+        fn = MATH_UNARY.get(parts[1])
+        if fn is not None:
+            return fn(float(argv[0]))
+        fn2 = MATH_BINARY.get(parts[1])
+        if fn2 is not None:
+            return fn2(float(argv[0]), float(argv[1]))
+    raise SimulationError(f"unhandled intrinsic {name}")

@@ -1,4 +1,4 @@
-"""The virtual GPU: an IR interpreter with GPU execution semantics.
+"""The virtual GPU: an IR executor with GPU execution semantics.
 
 Execution model (paper Fig. 2): a launch creates ``num_teams`` teams of
 ``threads_per_team`` threads.  Teams are independent; within a team,
@@ -12,18 +12,33 @@ Timing: a team's elapsed time is the sum over barrier-delimited phases
 of the *maximum* per-thread cycle count in the phase (threads run in
 parallel on hardware), plus barrier costs.  The kernel time is the sum
 over SM waves of the slowest team in each wave, plus launch overhead.
+
+Two execution engines share this team/timing driver:
+
+* ``decoded`` (default) — the pre-decoded engine of
+  :mod:`repro.vgpu.decode`: functions are flattened once into micro-op
+  arrays with slot-resolved operands and folded static costs.
+* ``legacy`` — the original tree-walking interpreter kept in this
+  module as the deterministic reference; the differential tests pin
+  the decoded engine to it bit for bit.
+
+Teams are embarrassingly parallel, so ``launch(..., sim_jobs=N)`` (or
+``REPRO_SIM_JOBS``) fans independent teams out to a thread pool.  All
+counters accumulate into per-team :class:`~repro.vgpu.profiler.
+TeamStats` merged in team order, so serial and parallel simulation
+produce identical profiles.
 """
 
 from __future__ import annotations
 
-import enum
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.memory.addrspace import AddressSpace, make_pointer, pointer_space
 from repro.memory.layout import DATA_LAYOUT
-from repro.memory.memmodel import MemorySystem, encode_scalar, scalar_size
+from repro.memory.memmodel import DEVICE_LOCK, MemorySystem, encode_scalar
 from repro.ir.instructions import (
     Alloca,
     AtomicRMW,
@@ -45,9 +60,17 @@ from repro.ir.instructions import (
 )
 from repro.ir.intrinsics import intrinsic_info
 from repro.ir.module import BasicBlock, Function, Module
-from repro.ir.types import F32, F64, FloatType, IntType, PointerType, Type
+from repro.ir.types import FloatType, IntType, PointerType, Type
 from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
-from repro.vgpu.config import DEFAULT_CONFIG, GPUConfig, LaunchConfig
+from repro.vgpu import decode as _decode
+from repro.vgpu.config import (
+    DEFAULT_CONFIG,
+    GPUConfig,
+    LaunchConfig,
+    resolve_sim_engine,
+    resolve_sim_jobs,
+)
+from repro.vgpu.config import ENGINE_DECODED, ENGINE_LEGACY  # noqa: F401 (re-export)
 from repro.vgpu.cost import CostModel
 from repro.vgpu.errors import (
     AssumptionViolation,
@@ -56,61 +79,22 @@ from repro.vgpu.errors import (
     StepLimitExceeded,
     TrapError,
 )
-from repro.vgpu.profiler import KernelProfile
+from repro.vgpu.execstate import (  # noqa: F401 (Frame/ThreadStatus re-exported)
+    Frame,
+    Scalar,
+    ThreadContext,
+    ThreadStatus,
+    atomic_apply,
+    math_intrinsic,
+)
+from repro.vgpu.profiler import KernelProfile, TeamStats
 from repro.vgpu.resources import measure_resources
 
-Scalar = Union[int, float]
+_RUNNING = ThreadStatus.RUNNING
+_AT_BARRIER = ThreadStatus.AT_BARRIER
+_DONE = ThreadStatus.DONE
 
-
-class ThreadStatus(enum.Enum):
-    RUNNING = "running"
-    AT_BARRIER = "at_barrier"
-    DONE = "done"
-
-
-class Frame:
-    """One activation record."""
-
-    __slots__ = ("function", "block", "index", "values", "call_site", "pred_block")
-
-    def __init__(self, function: Function, call_site: Optional[Call]) -> None:
-        self.function = function
-        self.block: BasicBlock = function.entry
-        self.index = 0
-        self.values: Dict[Value, Scalar] = {}
-        self.call_site = call_site
-        self.pred_block: Optional[BasicBlock] = None
-
-
-class ThreadContext:
-    """Execution state of one GPU thread."""
-
-    __slots__ = (
-        "team_id",
-        "thread_id",
-        "frames",
-        "status",
-        "phase_cycles",
-        "total_cycles",
-        "steps",
-        "barrier_call",
-        "done_phase_recorded",
-    )
-
-    def __init__(self, team_id: int, thread_id: int) -> None:
-        self.team_id = team_id
-        self.thread_id = thread_id
-        self.frames: List[Frame] = []
-        self.status = ThreadStatus.RUNNING
-        self.phase_cycles = 0
-        self.total_cycles = 0
-        self.steps = 0
-        self.barrier_call: Optional[Call] = None
-        self.done_phase_recorded = False
-
-    @property
-    def frame(self) -> Frame:
-        return self.frames[-1]
+_I64 = IntType(64)
 
 
 class VirtualGPU:
@@ -122,6 +106,7 @@ class VirtualGPU:
         config: GPUConfig = DEFAULT_CONFIG,
         debug_checks: bool = False,
         env: Optional[Dict[str, int]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.module = module
         self.config = config
@@ -129,6 +114,9 @@ class VirtualGPU:
         #: When True the simulator verifies assumptions and aligned-barrier
         #: alignment — the dynamic half of the paper's debug mode.
         self.debug_checks = debug_checks
+        #: Execution engine: ``decoded`` (default) or ``legacy``; also
+        #: selectable via ``REPRO_SIM_ENGINE``.
+        self.engine = resolve_sim_engine(engine)
         self.env = dict(env or {})
         self.memory = MemorySystem(
             global_size=config.global_memory,
@@ -141,6 +129,13 @@ class VirtualGPU:
         self.function_addresses: Dict[Function, int] = {}
         self._functions_by_address: Dict[int, Function] = {}
         self._string_table: Dict[int, str] = {}
+        #: Per-device bound decode cache (static decode is shared
+        #: process-wide, see :mod:`repro.vgpu.decode`).
+        self._bound_cache: Dict[Function, _decode.BoundFunction] = {}
+        #: Launch-time state read by the ``gpu.*`` geometry intrinsics.
+        self._launch: Optional[LaunchConfig] = None
+        self._dynamic_shared_bytes = 0
+        self._dynamic_shared_base: Dict[int, int] = {}
         self._materialize_globals()
         self._assign_function_addresses()
         self._apply_environment()
@@ -242,12 +237,18 @@ class VirtualGPU:
         num_teams: int,
         threads_per_team: int,
         dynamic_shared_bytes: int = 0,
+        sim_jobs: Optional[int] = None,
     ) -> KernelProfile:
         """Execute *kernel* over the given grid; returns its profile.
 
         ``dynamic_shared_bytes`` models the launch-time dynamic shared
         memory of §III-D: each team gets that many extra bytes beyond
         the static allocation, reachable via ``gpu.dynamic_shared``.
+
+        ``sim_jobs`` (default: ``REPRO_SIM_JOBS``, else 1) simulates
+        independent teams on that many worker threads.  Profiles are
+        identical to a serial run: each team counts into a private
+        :class:`TeamStats` and results merge in team order.
         """
         func = self.module.get_function(kernel) if isinstance(kernel, str) else kernel
         if func.is_declaration:
@@ -262,8 +263,9 @@ class VirtualGPU:
                 f"kernel @{func.name} expects {len(func.args)} args, got {len(args)}"
             )
         launch = LaunchConfig(num_teams, threads_per_team)
+        self._launch = launch
         self._dynamic_shared_bytes = dynamic_shared_bytes
-        self._dynamic_shared_base: Dict[int, int] = {}
+        self._dynamic_shared_base = {}
         profile = KernelProfile(
             kernel_name=func.name,
             num_teams=num_teams,
@@ -273,10 +275,28 @@ class VirtualGPU:
         profile.registers = resources.registers
         profile.shared_memory_bytes = resources.shared_memory_bytes
 
+        jobs = resolve_sim_jobs(sim_jobs, num_teams)
+        if jobs == 1:
+            # Serial reference path: one reusable thread-context
+            # workspace shared by all teams (allocation reuse).
+            workspace: List[ThreadContext] = []
+            results = [
+                self._run_team(func, args, team_id, launch, workspace)
+                for team_id in range(num_teams)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                results = list(
+                    pool.map(
+                        lambda team_id: self._run_team(func, args, team_id, launch),
+                        range(num_teams),
+                    )
+                )
+
         team_times: List[int] = []
-        for team_id in range(num_teams):
-            team_times.append(self._run_team(func, args, team_id, launch, profile))
-            profile.team_cycles[team_id] = team_times[-1]
+        for team_id, (team_time, stats) in enumerate(results):
+            profile.merge_team(team_id, team_time, stats)
+            team_times.append(team_time)
 
         # SM wave model: teams fill SMs; each wave costs its slowest team.
         total = self.config.launch_overhead
@@ -293,37 +313,56 @@ class VirtualGPU:
         args: Sequence[Scalar],
         team_id: int,
         launch: LaunchConfig,
-        profile: KernelProfile,
-    ) -> int:
-        # (Re)initialize this team's shared segment image.
-        seg = self.memory.shared_segment(team_id)
-        seg.data[:] = b"\x00" * len(seg.data)
-        seg.brk = self.memory.shared_brk_template
-        seg.high_water = seg.brk
-        if getattr(self, "_dynamic_shared_bytes", 0):
+        workspace: Optional[List[ThreadContext]] = None,
+    ) -> Tuple[int, TeamStats]:
+        """Simulate one team; returns its elapsed time and counters."""
+        stats = TeamStats()
+        # (Re)initialize this team's shared segment image (in place; no
+        # per-team bytes allocation).
+        seg = self.memory.reset_shared_segment(team_id)
+        if self._dynamic_shared_bytes:
             self._dynamic_shared_base[team_id] = seg.allocate(
                 self._dynamic_shared_bytes)
         for addr, image in self._shared_inits:
             offset = addr & ((1 << 48) - 1)
             seg.write_bytes(offset, image)
 
-        threads = [ThreadContext(team_id, t) for t in range(launch.threads_per_team)]
-        for thread in threads:
-            frame = Frame(kernel, None)
-            for formal, actual in zip(kernel.args, args):
-                frame.values[formal] = self._coerce(actual, formal.type)
-            thread.frames.append(frame)
+        n = launch.threads_per_team
+        if workspace is None:
+            threads = [ThreadContext(team_id, t) for t in range(n)]
+        else:
+            while len(workspace) < n:
+                workspace.append(ThreadContext(team_id, len(workspace)))
+            threads = workspace[:n]
+            for thread in threads:
+                thread.reset(team_id)
 
+        decoded = self.engine == ENGINE_DECODED
+        for thread in threads:
+            thread.stats = stats
+            if decoded:
+                thread.frames.append(_decode.make_kernel_frame(self, kernel, args))
+            else:
+                frame = Frame(kernel, None)
+                for formal, actual in zip(kernel.args, args):
+                    frame.values[formal] = self._coerce(actual, formal.type)
+                thread.frames.append(frame)
+
+        # Barrier-granularity phase driver.  Threads leave `_run_thread`
+        # either DONE or AT_BARRIER, so each pass over `alive` runs one
+        # phase; no per-iteration runnable-list rebuild is needed.
         team_time = 0
-        while True:
-            alive = [t for t in threads if t.status is not ThreadStatus.DONE]
+        alive = list(threads)
+        while alive:
+            for thread in alive:
+                if thread.status is _RUNNING:
+                    if decoded:
+                        _decode.run_thread(self, thread)
+                    else:
+                        self._run_thread(thread, launch, stats)
+            alive = [t for t in alive if t.status is not _DONE]
             if not alive:
                 break
-            runnable = [t for t in alive if t.status is ThreadStatus.RUNNING]
-            if runnable:
-                for thread in runnable:
-                    self._run_thread(thread, launch, profile)
-                continue
             # Everyone alive is at a barrier: close the phase.
             barrier_calls = {t.barrier_call for t in alive}
             aligned = all(
@@ -340,19 +379,20 @@ class VirtualGPU:
             )
             phase = max(t.phase_cycles for t in threads)
             team_time += phase + barrier_cost
-            profile.barriers += 1
+            stats.barriers += 1
             for t in threads:
                 t.phase_cycles = 0
-                if t.status is ThreadStatus.AT_BARRIER:
-                    t.status = ThreadStatus.RUNNING
+                if t.status is _AT_BARRIER:
+                    t.status = _RUNNING
                     t.barrier_call = None
         team_time += max((t.phase_cycles for t in threads), default=0)
         for t in threads:
-            profile.instructions += t.steps
-        profile.shared_stack_high_water = max(
-            profile.shared_stack_high_water, seg.high_water - self.memory.shared_brk_template
+            stats.instructions += t.steps
+        stats.shared_stack_high_water = max(
+            stats.shared_stack_high_water,
+            seg.high_water - self.memory.shared_brk_template,
         )
-        return team_time
+        return team_time, stats
 
     @staticmethod
     def _barrier_is_aligned(call: Call) -> bool:
@@ -369,14 +409,14 @@ class VirtualGPU:
         info = intrinsic_info(callee.name)
         return info.cost if info else 0
 
-    # ------------------------------------------------------------ thread driver --
+    # ----------------------------------------------- legacy thread driver --
 
     def _run_thread(
-        self, thread: ThreadContext, launch: LaunchConfig, profile: KernelProfile
+        self, thread: ThreadContext, launch: LaunchConfig, stats: TeamStats
     ) -> None:
         """Run *thread* until it terminates or arrives at a barrier."""
         max_steps = self.config.max_steps_per_thread
-        while thread.status is ThreadStatus.RUNNING:
+        while thread.status is _RUNNING:
             frame = thread.frame
             inst = frame.block.instructions[frame.index]
             thread.steps += 1
@@ -385,7 +425,7 @@ class VirtualGPU:
                     f"thread ({thread.team_id},{thread.thread_id}) exceeded "
                     f"{max_steps} steps in @{frame.function.name}"
                 )
-            self._execute(inst, thread, launch, profile)
+            self._execute(inst, thread, launch, stats)
 
     # -------------------------------------------------------------- evaluation --
 
@@ -438,10 +478,10 @@ class VirtualGPU:
         inst: Instruction,
         thread: ThreadContext,
         launch: LaunchConfig,
-        profile: KernelProfile,
+        stats: TeamStats,
     ) -> None:
         frame = thread.frame
-        profile.opcode_counts[inst.opcode] += 1
+        stats.opcode_counts[inst.opcode] += 1
 
         if isinstance(inst, BinOp):
             lhs = self._eval(inst.lhs, frame)
@@ -449,7 +489,7 @@ class VirtualGPU:
             frame.values[inst] = self._binop(inst, lhs, rhs, thread)
             thread.phase_cycles += self.cost.binop_cost(inst)
             if inst.opcode in ("fadd", "fsub", "fmul", "fdiv", "frem"):
-                profile.flops += 1
+                stats.flops += 1
             self._advance(thread)
             return
 
@@ -459,7 +499,7 @@ class VirtualGPU:
             frame.values[inst] = self.memory.load(
                 ptr, inst.type, thread.team_id, thread.thread_id
             )
-            profile.loads_by_space[space] += 1
+            stats.loads_by_space[space] += 1
             thread.phase_cycles += self.cost.load_cost(space)
             self._advance(thread)
             return
@@ -471,7 +511,7 @@ class VirtualGPU:
             self.memory.store(
                 ptr, value, inst.value.type, thread.team_id, thread.thread_id
             )
-            profile.stores_by_space[space] += 1
+            stats.stores_by_space[space] += 1
             thread.phase_cycles += self.cost.store_cost(space)
             self._advance(thread)
             return
@@ -525,9 +565,10 @@ class VirtualGPU:
             ptr = int(self._eval(inst.pointer, frame))
             operand = self._eval(inst.value, frame)
             ty = inst.value.type
-            old = self.memory.load(ptr, ty, thread.team_id, thread.thread_id)
-            new = self._atomic_apply(inst.operation, old, operand, ty)
-            self.memory.store(ptr, new, ty, thread.team_id, thread.thread_id)
+            with DEVICE_LOCK:
+                old = self.memory.load(ptr, ty, thread.team_id, thread.thread_id)
+                new = atomic_apply(inst.operation, old, operand, ty)
+                self.memory.store(ptr, new, ty, thread.team_id, thread.thread_id)
             frame.values[inst] = old
             thread.phase_cycles += self.cost.config.atomic_cost
             self._advance(thread)
@@ -549,7 +590,7 @@ class VirtualGPU:
             result = self._eval(rv, frame) if rv is not None else None
             thread.frames.pop()
             if not thread.frames:
-                thread.status = ThreadStatus.DONE
+                thread.status = _DONE
                 thread.total_cycles += thread.phase_cycles
                 return
             caller = thread.frame
@@ -567,7 +608,7 @@ class VirtualGPU:
             )
 
         if isinstance(inst, Call):
-            self._execute_call(inst, thread, launch, profile)
+            self._execute_call(inst, thread, launch, stats)
             return
 
         if isinstance(inst, Phi):  # pragma: no cover - phis run at branch time
@@ -582,7 +623,7 @@ class VirtualGPU:
         inst: Call,
         thread: ThreadContext,
         launch: LaunchConfig,
-        profile: KernelProfile,
+        stats: TeamStats,
     ) -> None:
         frame = thread.frame
         callee = inst.callee
@@ -597,7 +638,7 @@ class VirtualGPU:
 
         info = intrinsic_info(callee.name)
         if info is not None:
-            self._execute_intrinsic(inst, callee.name, info, thread, launch, profile)
+            self._execute_intrinsic(inst, callee.name, info, thread, launch, stats)
             return
 
         if callee.is_declaration:
@@ -626,14 +667,14 @@ class VirtualGPU:
         info,
         thread: ThreadContext,
         launch: LaunchConfig,
-        profile: KernelProfile,
+        stats: TeamStats,
     ) -> None:
         frame = thread.frame
         argv = [self._eval(a, frame) for a in inst.args]
         thread.phase_cycles += info.cost
 
         if info.is_barrier:
-            thread.status = ThreadStatus.AT_BARRIER
+            thread.status = _AT_BARRIER
             thread.barrier_call = inst
             self._advance(thread)
             return
@@ -652,7 +693,7 @@ class VirtualGPU:
         elif name == "gpu.lane_id":
             result = thread.thread_id % self.config.warp_size
         elif name == "gpu.dynamic_shared":
-            base = getattr(self, "_dynamic_shared_base", {}).get(thread.team_id)
+            base = self._dynamic_shared_base.get(thread.team_id)
             if base is None:
                 raise SimulationError(
                     "gpu.dynamic_shared used but the launch reserved no "
@@ -668,19 +709,18 @@ class VirtualGPU:
         elif name == "llvm.expect":
             result = argv[0]
         elif name == "llvm.trap":
-            msg = profile.output[-1] if profile.output else "llvm.trap"
+            msg = stats.output[-1] if stats.output else "llvm.trap"
             raise TrapError(
                 f"trap in @{frame.function.name} "
                 f"(team {thread.team_id}, thread {thread.thread_id}): {msg}"
             )
         elif name == "rt.print_i64":
-            text = str(IntType(64).to_signed(int(argv[0])))
-            profile.output.append(text)
+            stats.output.append(str(_I64.to_signed(int(argv[0]))))
         elif name == "rt.print_f64":
-            profile.output.append(repr(float(argv[0])))
+            stats.output.append(repr(float(argv[0])))
         elif name == "rt.print_str":
             addr = int(argv[0])
-            profile.output.append(self._string_table.get(addr, f"<str {addr:#x}>"))
+            stats.output.append(self._string_table.get(addr, f"<str {addr:#x}>"))
         elif name == "malloc":
             result = self.memory.malloc(int(argv[0]))
         elif name == "free":
@@ -696,47 +736,13 @@ class VirtualGPU:
             )
             thread.phase_cycles += int(argv[2]) // 4
         else:
-            result = self._math_intrinsic(name, argv)
+            result = math_intrinsic(name, argv)
             if result is not None:
-                profile.flops += 1
+                stats.flops += 1
 
         if result is not None:
             frame.values[inst] = self._coerce(result, inst.type)
         self._advance(thread)
-
-    @staticmethod
-    def _math_intrinsic(name: str, argv: List[Scalar]) -> Optional[Scalar]:
-        import math
-
-        parts = name.split(".")
-        if len(parts) != 3 or parts[0] != "llvm":
-            raise SimulationError(f"unhandled intrinsic {name}")
-        op = parts[1]
-        x = float(argv[0])
-        if op == "sqrt":
-            return math.sqrt(x) if x >= 0 else float("nan")
-        if op == "exp":
-            try:
-                return math.exp(x)
-            except OverflowError:
-                return float("inf")
-        if op == "log":
-            return math.log(x) if x > 0 else float("-inf")
-        if op == "sin":
-            return math.sin(x)
-        if op == "cos":
-            return math.cos(x)
-        if op == "fabs":
-            return abs(x)
-        if op == "floor":
-            return math.floor(x)
-        if op == "pow":
-            return math.pow(x, float(argv[1]))
-        if op == "fmin":
-            return min(x, float(argv[1]))
-        if op == "fmax":
-            return max(x, float(argv[1]))
-        raise SimulationError(f"unhandled intrinsic {name}")
 
     # ----------------------------------------------------------------- scalar ops --
 
@@ -760,7 +766,7 @@ class VirtualGPU:
 
                 return math.fmod(a, b) if b != 0.0 else float("nan")
         if isinstance(ty, IntType) or isinstance(ty, PointerType):
-            ity = ty if isinstance(ty, IntType) else IntType(64)
+            ity = ty if isinstance(ty, IntType) else _I64
             a, b = int(lhs), int(rhs)
             sa, sb = ity.to_signed(a), ity.to_signed(b)
             if op == "add":
@@ -851,31 +857,3 @@ class VirtualGPU:
         if op in ("ptrtoint", "inttoptr", "bitcast"):
             return src
         raise SimulationError(f"unhandled cast {op}")  # pragma: no cover
-
-    @staticmethod
-    def _atomic_apply(op: str, old: Scalar, operand: Scalar, ty: Type) -> Scalar:
-        if isinstance(ty, FloatType):
-            a, b = float(old), float(operand)
-            if op == "add":
-                return a + b
-            if op == "sub":
-                return a - b
-            if op == "max":
-                return max(a, b)
-            if op == "min":
-                return min(a, b)
-            if op == "exchange":
-                return b
-        assert isinstance(ty, IntType)
-        a, b = int(old), int(operand)
-        if op == "add":
-            return ty.wrap(a + b)
-        if op == "sub":
-            return ty.wrap(a - b)
-        if op == "max":
-            return max(ty.to_signed(a), ty.to_signed(b)) & ty.max_unsigned
-        if op == "min":
-            return min(ty.to_signed(a), ty.to_signed(b)) & ty.max_unsigned
-        if op == "exchange":
-            return b
-        raise SimulationError(f"unhandled atomic {op}")  # pragma: no cover

@@ -4,6 +4,13 @@ One :class:`KernelProfile` is produced per launch and carries the three
 quantities the paper's Fig. 11 reports (kernel time, register count,
 static shared memory) plus the instruction mix the harness uses for
 derived metrics (GFlops for GridMini, Fig. 12).
+
+Counting happens in exactly one place: both execution engines (the
+legacy tree-walking interpreter and the pre-decoded engine) accumulate
+into a per-team :class:`TeamStats`, and :meth:`KernelProfile.merge_team`
+folds team results into the launch profile in team order.  Because the
+accumulator and the merge are shared, the two engines — and serial vs.
+parallel team simulation — cannot drift apart in what they count.
 """
 
 from __future__ import annotations
@@ -18,6 +25,30 @@ from repro.memory.addrspace import AddressSpace
 #: into "GFlops".  Arbitrary but fixed, so ratios between builds are
 #: meaningful.
 NOMINAL_CLOCK_GHZ = 1.41
+
+
+@dataclass
+class TeamStats:
+    """Execution counters for one simulated team.
+
+    Field names deliberately mirror the :class:`KernelProfile` fields
+    they merge into, so the executors can treat either object as the
+    counting sink (the trap/print intrinsics read ``output`` from
+    whichever they were handed).  Each team gets a private instance,
+    which is what makes parallel team simulation deterministic: teams
+    never contend on shared counters, and :meth:`KernelProfile.
+    merge_team` folds them in team order regardless of completion
+    order.
+    """
+
+    instructions: int = 0
+    opcode_counts: Counter = field(default_factory=Counter)
+    loads_by_space: Counter = field(default_factory=Counter)
+    stores_by_space: Counter = field(default_factory=Counter)
+    flops: int = 0
+    barriers: int = 0
+    output: List[str] = field(default_factory=list)
+    shared_stack_high_water: int = 0
 
 
 @dataclass
@@ -49,6 +80,26 @@ class KernelProfile:
     team_cycles: Dict[int, int] = field(default_factory=dict)
     #: Peak dynamic shared-stack usage observed (bytes, diagnostic).
     shared_stack_high_water: int = 0
+
+    def merge_team(self, team_id: int, team_time: int, stats: TeamStats) -> None:
+        """Fold one team's counters into the launch profile.
+
+        This is the single merge site for both engines and both the
+        serial and parallel team drivers; callers must invoke it in
+        ascending ``team_id`` order so list-valued fields (``output``)
+        are reproducible.
+        """
+        self.team_cycles[team_id] = team_time
+        self.instructions += stats.instructions
+        self.opcode_counts.update(stats.opcode_counts)
+        self.loads_by_space.update(stats.loads_by_space)
+        self.stores_by_space.update(stats.stores_by_space)
+        self.flops += stats.flops
+        self.barriers += stats.barriers
+        self.output.extend(stats.output)
+        self.shared_stack_high_water = max(
+            self.shared_stack_high_water, stats.shared_stack_high_water
+        )
 
     @property
     def time_seconds(self) -> float:

@@ -1,0 +1,61 @@
+"""Smoke tests for the simulator-throughput benchmark
+(``python -m repro.bench simperf``)."""
+
+import json
+
+import pytest
+
+from repro.bench import simperf
+from repro.bench.builds import BUILD_ORDER
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # Single cell, single repeat: the same shape the CLI's --quick uses.
+    return simperf.simperf_matrix(
+        apps=["testsnap"], builds=[BUILD_ORDER[0]], repeats=1
+    )
+
+
+@pytest.mark.simperf
+class TestSimperfSmoke:
+    def test_report_schema(self, quick_report):
+        report = quick_report
+        assert report["benchmark"] == "simperf"
+        assert report["config"]["repeats"] == 1
+        # One cell per engine.
+        assert {c["engine"] for c in report["cells"]} == {"legacy", "decoded"}
+        for cell in report["cells"]:
+            assert cell["app"] == "testsnap"
+            assert cell["build"] == BUILD_ORDER[0]
+            assert cell["instructions"] > 0
+            assert cell["cycles"] > 0
+            assert cell["wall_seconds"] > 0
+            assert cell["insts_per_sec"] > 0
+            assert cell["cycles_per_sec"] > 0
+
+    def test_engines_simulate_identical_work(self, quick_report):
+        by_engine = {c["engine"]: c for c in quick_report["cells"]}
+        # Same simulated work; only wall-clock may differ.
+        assert (by_engine["legacy"]["instructions"]
+                == by_engine["decoded"]["instructions"])
+        assert by_engine["legacy"]["cycles"] == by_engine["decoded"]["cycles"]
+
+    def test_speedups_and_geomean(self, quick_report):
+        speedups = quick_report["speedup_decoded_over_legacy"]
+        assert list(speedups) == ["testsnap"]
+        assert speedups["testsnap"][BUILD_ORDER[0]] > 0
+        assert quick_report["geomean_speedup"] > 0
+
+    def test_json_round_trip(self, quick_report, tmp_path):
+        text = simperf.render_json(quick_report)
+        assert json.loads(text) == quick_report
+        out = tmp_path / "BENCH_sim.json"
+        assert simperf.write_report(quick_report, str(out)) == str(out)
+        assert json.loads(out.read_text()) == quick_report
+
+    def test_table_mentions_every_cell(self, quick_report):
+        table = simperf.format_simperf(quick_report)
+        assert "testsnap" in table
+        assert "legacy" in table and "decoded" in table
+        assert "geomean" in table

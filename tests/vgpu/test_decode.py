@@ -1,0 +1,190 @@
+"""Pre-decoded engine: decode pass, slot assignment, caching, parity."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    F64,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    PTR_GLOBAL,
+    VOID,
+    verify_module,
+)
+from repro.vgpu import CostModel, GPUConfig, SimulationError, VirtualGPU
+from repro.vgpu import decode as D
+from tests.conftest import make_function, make_kernel
+
+
+def _phi_loop_module():
+    """sum = Σ i for i in range(n): a loop with two phis."""
+    module = Module("loop")
+    func, b = make_kernel(module, params=(PTR_GLOBAL, I64), arg_names=["out", "n"])
+    entry = b.block
+    header = func.add_block("header")
+    body = func.add_block("body")
+    exit_ = func.add_block("exit")
+    b.br(header)
+
+    b.set_insert_point(header)
+    i = b.phi(I64, "i")
+    acc = b.phi(I64, "acc")
+    i.add_incoming(b.i64(0), entry)
+    acc.add_incoming(b.i64(0), entry)
+    b.cond_br(b.icmp("slt", i, func.args[1]), body, exit_)
+
+    b.set_insert_point(body)
+    nacc = b.add(acc, i)
+    ni = b.add(i, b.i64(1))
+    i.add_incoming(ni, body)
+    acc.add_incoming(nacc, body)
+    b.br(header)
+
+    b.set_insert_point(exit_)
+    b.store(acc, func.args[0])
+    b.ret()
+    verify_module(module)
+    return module, func
+
+
+class TestDecodePass:
+    def test_phis_emit_no_ops(self):
+        module, func = _phi_loop_module()
+        code = D.decode_function(func, CostModel(GPUConfig()), 32)
+        opcodes = [op[1] for op in code.ops]
+        assert "phi" not in opcodes
+        # br/condbr carry the phi moves instead.
+        assert "br" in opcodes and "condbr" in opcodes
+
+    def test_every_value_gets_a_slot(self):
+        module, func = _phi_loop_module()
+        code = D.decode_function(func, CostModel(GPUConfig()), 32)
+        n_insts = sum(len(blk.instructions) for blk in func.blocks)
+        # args + every instruction (incl. phis/void) + constants
+        assert code.num_slots >= len(func.args) + n_insts
+        assert len(code.arg_slots) == len(func.args)
+
+    def test_constants_prefilled_not_value_deduped(self):
+        """0.0 and -0.0 are equal but must keep distinct slots.
+
+        (The builder folds constant arithmetic, so the constants are
+        used as store operands, which survive to decode unfolded.)
+        """
+        module = Module("m")
+        func, b = make_kernel(
+            module, params=(PTR_GLOBAL, PTR_GLOBAL), arg_names=["a", "out2"]
+        )
+        b.store(b.f64(0.0), func.args[0])
+        b.store(b.f64(-0.0), func.args[1])
+        b.ret()
+        verify_module(module)
+        code = D.decode_function(func, CostModel(GPUConfig()), 32)
+        consts = [v for _, v in code.static_init]
+        zeros = [v for v in consts if isinstance(v, float) and v == 0.0]
+        signs = {np.copysign(1.0, v) for v in zeros}
+        assert signs == {1.0, -1.0}
+
+    def test_static_costs_folded(self):
+        module, func = _phi_loop_module()
+        cost = CostModel(GPUConfig())
+        code = D.decode_function(func, cost, 32)
+        add_ops = [op for op in code.ops if op[1] == "add"]
+        assert add_ops and all(op[-1] == cost.config.int_op_cost for op in add_ops)
+
+    def test_decode_cache_is_per_device(self):
+        module, func = _phi_loop_module()
+        gpu_a = VirtualGPU(module, engine="decoded")
+        gpu_b = VirtualGPU(module, engine="decoded")
+        bound_a = D.bind_function(gpu_a, func)
+        bound_b = D.bind_function(gpu_b, func)
+        assert bound_a is not bound_b  # each device decodes its own view
+        assert D.bind_function(gpu_a, func) is bound_a  # cached per device
+
+    def test_in_place_mutation_not_served_stale(self):
+        """Passes mutate functions in place; a device created after the
+        mutation must decode the new IR, not a memoized old decode."""
+        module, func = _phi_loop_module()
+        gpu_a = VirtualGPU(module, engine="decoded")
+        before = D.bind_function(gpu_a, func).code
+        n_before = len(before.ops)
+        # Simulate an optimizing pass: drop the loop, store 45 directly.
+        for block in list(func.blocks)[1:]:
+            func.remove_block(block)
+        entry = func.blocks[0]
+        entry.instructions.clear()
+        b = IRBuilder(module, entry)
+        b.store(b.i64(45), func.args[0])
+        b.ret()
+        verify_module(module)
+        gpu_b = VirtualGPU(module, engine="decoded")
+        after = D.bind_function(gpu_b, func).code
+        assert len(after.ops) < n_before
+        out = gpu_b.alloc_array(np.zeros(1, dtype=np.int64))
+        gpu_b.launch(func.name, [out, 10], 1, 1)
+        assert gpu_b.read_array(out, np.int64, 1)[0] == 45
+
+
+class TestDecodedExecution:
+    def _run(self, engine, n=10, sim_jobs=None):
+        module, func = _phi_loop_module()
+        gpu = VirtualGPU(module, engine=engine)
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        profile = gpu.launch(func.name, [out, n], 4, 8, sim_jobs=sim_jobs)
+        return gpu.read_array(out, np.int64, 1)[0], profile
+
+    def test_loop_result_matches_legacy(self):
+        val_dec, prof_dec = self._run("decoded")
+        val_leg, prof_leg = self._run("legacy")
+        assert val_dec == val_leg == sum(range(10))
+        assert prof_dec.cycles == prof_leg.cycles
+        assert prof_dec.instructions == prof_leg.instructions
+        assert prof_dec.opcode_counts == prof_leg.opcode_counts
+        assert prof_dec.team_cycles == prof_leg.team_cycles
+
+    def test_parallel_team_simulation_is_deterministic(self):
+        val_serial, prof_serial = self._run("decoded", sim_jobs=1)
+        val_par, prof_par = self._run("decoded", sim_jobs=4)
+        assert val_serial == val_par
+        assert prof_serial.cycles == prof_par.cycles
+        assert prof_serial.team_cycles == prof_par.team_cycles
+        assert prof_serial.opcode_counts == prof_par.opcode_counts
+
+    def test_call_to_undefined_function_message(self):
+        module = Module("m")
+        ext = module.add_function(
+            Function("ext", FunctionType(I64, ()), linkage="external")
+        )
+        func, b = make_kernel(module, params=(PTR_GLOBAL,), arg_names=["out"])
+        b.store(b.call(ext, []), func.args[0])
+        b.ret()
+        verify_module(module)
+        gpu = VirtualGPU(module, engine="decoded")
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        with pytest.raises(SimulationError, match=r"call to undefined function @ext"):
+            gpu.launch("kern", [out], 1, 1)
+
+    def test_division_by_zero_parity(self):
+        for engine in ("decoded", "legacy"):
+            module = Module("m")
+            func, b = make_kernel(module, params=(I64,), arg_names=["d"])
+            b.sdiv(b.i64(1), func.args[0])
+            b.ret()
+            verify_module(module)
+            gpu = VirtualGPU(module, engine=engine)
+            from repro.vgpu import TrapError
+
+            with pytest.raises(TrapError, match="integer division by zero"):
+                gpu.launch("kern", [0], 1, 1)
+
+    def test_engine_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "legacy")
+        module, func = _phi_loop_module()
+        gpu = VirtualGPU(module)
+        assert gpu.engine == "legacy"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "bogus")
+        with pytest.raises(ValueError):
+            VirtualGPU(module)
