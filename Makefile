@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction repo.
+#
+# `make verify` is the one-shot health check: tier-1 tests, the
+# simulator-throughput smoke and the end-to-end tracing smoke (the
+# same cells run under the `simperf` and `trace` pytest markers).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test verify simperf trace figures clean
+
+test:
+	$(PYTHON) -m pytest -q
+
+verify: test
+	$(PYTHON) -m repro.bench simperf --quick --out -
+	$(PYTHON) -m repro.bench trace --smoke
+	@echo "verify: OK"
+
+simperf:
+	$(PYTHON) -m repro.bench simperf
+
+trace:
+	$(PYTHON) -m repro.bench trace --smoke
+
+figures:
+	$(PYTHON) -m repro.bench all
+
+clean:
+	rm -rf .repro-cache .pytest_cache TRACE_*.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -9,6 +9,8 @@ Usage::
     python -m repro.bench oversub
     python -m repro.bench timings [--app APP] [--build BUILD]
     python -m repro.bench simperf [--repeats N] [--quick] [--json] [--out PATH]
+    python -m repro.bench trace   [--app APP] [--build BUILD] [--out PATH]
+                                  [--metrics-out PATH] [--smoke]
     python -m repro.bench json     (machine-readable full report)
     python -m repro.bench all      [--jobs N]
 
@@ -16,6 +18,11 @@ Usage::
 throughput across the app × build matrix) and writes its JSON report
 to ``BENCH_sim.json`` (tracked in git); ``--json`` prints the report
 to stdout instead of the table, ``--quick`` runs a single-cell smoke.
+
+``trace`` runs one (app, build) cell with the :mod:`repro.trace`
+collector enabled and writes a Perfetto-viewable Chrome Trace Format
+JSON plus a flat metrics JSON (see README "Observability");
+``--smoke`` runs the fixed fast cell the verification target uses.
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent (app, build) cells of each figure out over N worker
@@ -35,7 +42,7 @@ from repro.bench.harness import APPS
 
 COMMANDS = (
     "fig10", "fig11", "fig12", "fig13", "oversub", "timings", "simperf",
-    "json", "all",
+    "trace", "json", "all",
 )
 
 
@@ -52,11 +59,11 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--app", default="xsbench", choices=sorted(APPS),
-        help="app for the timings command",
+        help="app for the timings/trace commands",
     )
     parser.add_argument(
         "--build", default=None, choices=BUILD_ORDER,
-        help="build label for the timings command",
+        help="build label for the timings/trace commands",
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
@@ -78,7 +85,16 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", default=None,
         help="simperf: report path (default BENCH_sim.json; '-' skips "
-             "writing)",
+             "writing); trace: Chrome-trace output path",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="trace: flat metrics JSON path "
+             "(default TRACE_<app>_<build>.metrics.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="trace: run the fixed fast (app, build) smoke cell",
     )
     return parser
 
@@ -130,6 +146,21 @@ def main(argv) -> int:
             print(simperf.render_json(report))
         else:
             print(simperf.format_simperf(report))
+    if what == "trace":
+        from repro.bench import trace_cli
+
+        if args.smoke:
+            app, build = trace_cli.SMOKE_APP, trace_cli.SMOKE_BUILD
+        else:
+            app = args.app
+            build = args.build if args.build is not None else BUILD_ORDER[0]
+        result = trace_cli.run_trace(
+            app, build,
+            out=args.out if args.out != "-" else None,
+            metrics_out=args.metrics_out,
+            sim_jobs=args.sim_jobs,
+        )
+        print(trace_cli.format_trace_result(result))
     if what == "json":
         from repro.bench.report import render_json
 

@@ -59,19 +59,24 @@ class MatrixResult:
 
     def resource_table(self) -> List[Dict[str, Any]]:
         """Fig.-11-style rows: one dict per build with the static and
-        dynamic resource measurements."""
+        dynamic resource measurements.
+
+        Rows are projected from :meth:`KernelProfile.to_dict` so the
+        report, the figures and the trace metrics all read the same
+        serialization.
+        """
         rows: List[Dict[str, Any]] = []
         for build, result in self.results.items():
-            p = result.profile
+            p = result.profile.to_dict()
             rows.append({
                 "app": self.app,
                 "build": build,
-                "kernel_cycles": p.cycles,
-                "time_ms": p.time_ms,
-                "registers": p.registers,
-                "shared_memory_bytes": p.shared_memory_bytes,
-                "barriers": p.barriers,
-                "gflops": p.gflops,
+                "kernel_cycles": p["cycles"],
+                "time_ms": p["time_ms"],
+                "registers": p["registers"],
+                "shared_memory_bytes": p["shared_memory_bytes"],
+                "barriers": p["barriers"],
+                "gflops": p["gflops"],
                 "verified": result.verified,
             })
         return rows
@@ -83,6 +88,10 @@ class MatrixResult:
                 "app": self.app,
                 "builds": list(self.results),
                 "rows": self.resource_table(),
+                "profiles": {
+                    build: result.profile.to_dict()
+                    for build, result in self.results.items()
+                },
             },
             indent=indent,
             sort_keys=True,

@@ -15,16 +15,30 @@ from typing import Any, Dict, Optional
 
 from repro.bench import figures
 
+#: App whose full per-build kernel profiles the report embeds.
+REFERENCE_APP = "testsnap"
+
 
 def collect_report(apps=None, jobs: Optional[int] = None) -> Dict[str, Any]:
     """Run every experiment and collect the results."""
     from repro.toolchain.cache import get_compile_cache
 
+    from repro.bench.harness import run_build_matrix
+
     fig11_rows = figures.fig11_resources(apps, jobs=jobs)
     oversub = figures.oversubscription_effect()
     timings = figures.pipeline_timings()
     cache = get_compile_cache()
+    # Full per-build kernel profiles for one reference app, through the
+    # canonical KernelProfile serialization (cheap: every cell is a
+    # compile-cache hit after fig11 ran the matrix above).
+    reference = run_build_matrix(REFERENCE_APP, jobs=jobs)
+    kernel_profiles = {
+        build: json.loads(result.profile.to_json())
+        for build, result in reference.results.items()
+    }
     return {
+        "kernel_profiles": {REFERENCE_APP: kernel_profiles},
         "fig10_relative_performance": figures.fig10_relative_performance(jobs=jobs),
         "fig11_resources": [asdict(row) for row in fig11_rows],
         "fig12_gridmini_gflops": figures.fig12_gridmini_gflops(jobs=jobs),

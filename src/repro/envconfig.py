@@ -1,0 +1,161 @@
+"""One place for every ``REPRO_*`` environment knob.
+
+Historically each subsystem parsed its own environment variables
+(``repro.vgpu.config``, ``repro.toolchain.service``,
+``repro.toolchain.cache``), each with slightly different flag grammar.
+This module centralizes the parsing and keeps a registry of every knob
+so ``describe_env()`` can render the authoritative table (surfaced in
+the README "Observability" section).
+
+Knobs
+-----
+
+``REPRO_SIM_ENGINE``
+    Simulator execution engine: ``decoded`` (default) or ``legacy``.
+``REPRO_SIM_JOBS``
+    Worker threads for parallel team simulation inside one launch
+    (default 1 = serial).
+``REPRO_JOBS``
+    Worker processes for independent (app, build) cells of a bench
+    matrix (default 1 = serial).
+``REPRO_CACHE``
+    Set to ``0``/``off``/``false``/``no`` to disable the compile cache.
+``REPRO_CACHE_DIR``
+    Location of the on-disk compile cache (default ``.repro-cache``).
+``REPRO_CACHE_DISK``
+    Set falsy to keep the compile cache in-memory only.
+``REPRO_CACHE_SIZE``
+    In-memory compile-cache LRU capacity (default 128).
+``REPRO_TRACE``
+    Set truthy to enable the :mod:`repro.trace` event collector for
+    the whole process (off by default; see README "Observability").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Values that read as "off" for boolean knobs (case-insensitive).
+_FALSY = ("0", "off", "false", "no", "")
+
+
+@dataclass(frozen=True)
+class EnvKnob:
+    """One documented environment variable."""
+
+    name: str
+    kind: str  # "flag" | "int" | "str" | "choice"
+    default: str
+    help: str
+    choices: Tuple[str, ...] = ()
+
+
+#: The authoritative registry.  Every ``REPRO_*`` variable the code
+#: reads must appear here (enforced by tests/config/test_envconfig.py).
+KNOBS: Dict[str, EnvKnob] = {
+    knob.name: knob
+    for knob in (
+        EnvKnob("REPRO_SIM_ENGINE", "choice", "decoded",
+                "simulator execution engine", ("decoded", "legacy")),
+        EnvKnob("REPRO_SIM_JOBS", "int", "1",
+                "worker threads for parallel team simulation"),
+        EnvKnob("REPRO_JOBS", "int", "1",
+                "worker processes for independent bench cells"),
+        EnvKnob("REPRO_CACHE", "flag", "1",
+                "enable the compile cache"),
+        EnvKnob("REPRO_CACHE_DIR", "str", ".repro-cache",
+                "on-disk compile cache directory"),
+        EnvKnob("REPRO_CACHE_DISK", "flag", "1",
+                "persist the compile cache to disk"),
+        EnvKnob("REPRO_CACHE_SIZE", "int", "128",
+                "in-memory compile-cache LRU capacity"),
+        EnvKnob("REPRO_TRACE", "flag", "0",
+                "enable the repro.trace event collector"),
+    )
+}
+
+
+def _raw(name: str) -> Optional[str]:
+    if name not in KNOBS:  # guard against undocumented knobs creeping in
+        raise KeyError(f"undocumented environment knob {name!r}")
+    return os.environ.get(name)
+
+
+def env_flag(name: str, default: Optional[bool] = None) -> bool:
+    """Boolean knob: anything but ``0/off/false/no`` (or empty) is True."""
+    raw = _raw(name)
+    if raw is None:
+        if default is not None:
+            return default
+        raw = KNOBS[name].default
+    return raw.strip().lower() not in _FALSY
+
+
+def env_int(name: str, default: Optional[int] = None) -> int:
+    """Integer knob; malformed values fall back to the default."""
+    raw = _raw(name)
+    fallback = default if default is not None else int(KNOBS[name].default)
+    if raw is None:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        return fallback
+
+
+def env_str(name: str, default: Optional[str] = None) -> str:
+    raw = _raw(name)
+    if raw is not None:
+        return raw
+    return default if default is not None else KNOBS[name].default
+
+
+# ------------------------------------------------------- typed accessors --
+
+
+def sim_engine() -> str:
+    """Raw ``REPRO_SIM_ENGINE`` value (validated by the vgpu layer)."""
+    return env_str("REPRO_SIM_ENGINE")
+
+
+def sim_jobs() -> int:
+    return env_int("REPRO_SIM_JOBS")
+
+
+def jobs() -> int:
+    return env_int("REPRO_JOBS")
+
+
+def cache_enabled() -> bool:
+    return env_flag("REPRO_CACHE")
+
+
+def cache_disk() -> bool:
+    return env_flag("REPRO_CACHE_DISK")
+
+
+def cache_dir() -> str:
+    return env_str("REPRO_CACHE_DIR")
+
+
+def cache_size() -> int:
+    return env_int("REPRO_CACHE_SIZE")
+
+
+def trace_enabled() -> bool:
+    return env_flag("REPRO_TRACE")
+
+
+def describe_env() -> str:
+    """Render the knob registry as the documentation table."""
+    width = max(len(k) for k in KNOBS)
+    lines = []
+    for knob in KNOBS.values():
+        extra = f" (one of {', '.join(knob.choices)})" if knob.choices else ""
+        lines.append(
+            f"{knob.name:<{width}}  default={knob.default!r:<16} "
+            f"{knob.help}{extra}"
+        )
+    return "\n".join(lines)

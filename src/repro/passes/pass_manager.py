@@ -36,6 +36,10 @@ class PassTiming:
     changed: bool
     instructions_before: int
     instructions_after: int
+    #: ``time.perf_counter`` at pass start, so :mod:`repro.trace` can
+    #: export the run as a host span (0.0 on records predating the
+    #: field, e.g. cache-restored pickles).
+    started_s: float = 0.0
 
     @property
     def instructions_removed(self) -> int:
@@ -252,6 +256,7 @@ class PassManager:
                     changed=changed,
                     instructions_before=before,
                     instructions_after=module_instruction_count(module),
+                    started_s=start,
                 ))
             self.run_log.append(f"{p.name}: {'changed' if changed else 'no-op'}")
             changed_any |= changed

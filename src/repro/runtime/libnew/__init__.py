@@ -1,4 +1,8 @@
 """The new OpenMP GPU device runtime (paper §III) as an IR library."""
 
-from repro.runtime.libnew.builder import NEW_RUNTIME_API, populate_new_runtime  # noqa: F401
+from repro.runtime.libnew.builder import (  # noqa: F401
+    NEW_RT_OVERHEAD_CATEGORIES,
+    NEW_RUNTIME_API,
+    populate_new_runtime,
+)
 from repro.runtime.libnew.globals import NewRTGlobals  # noqa: F401

@@ -42,6 +42,38 @@ NEW_RUNTIME_API = (
     "omp_is_spmd_mode",
 )
 
+#: Overhead attribution for the trace layer (:mod:`repro.trace`):
+#: runtime entry point -> paper overhead category.  Includes the
+#: internal helpers because, pre-inlining, their calls are what the
+#: simulator observes; after openmp-opt most of these disappear, which
+#: is exactly the near-zero-overhead story the counters illustrate.
+NEW_RT_OVERHEAD_CATEGORIES = {
+    "__kmpc_target_init": "target_init",
+    "__kmpc_target_deinit": "target_init",
+    "__kmpc_parallel_51": "parallel_region",
+    "__kmpc_distribute_parallel_for": "worksharing",
+    "__kmpc_for_static_loop": "worksharing",
+    "__kmpc_distribute_static_loop": "worksharing",
+    "__kmpc_alloc_shared": "shared_stack",
+    "__kmpc_free_shared": "shared_stack",
+    "__kmpc_barrier": "sync",
+    "__kmpc_barrier_simple_spmd": "sync",
+    "omp_get_thread_num": "icv_query",
+    "omp_get_num_threads": "icv_query",
+    "omp_get_team_num": "icv_query",
+    "omp_get_num_teams": "icv_query",
+    "omp_get_level": "icv_query",
+    "omp_get_max_threads": "icv_query",
+    "omp_is_spmd_mode": "icv_query",
+    "__omp_lookup_icv_state": "icv_query",
+    "__omp_get_levels_icv": "icv_query",
+    "__omp_set_levels_icv": "icv_query",
+    "__omp_get_nthreads_icv": "icv_query",
+    "__omp_set_nthreads_icv": "icv_query",
+    "__omp_push_thread_state": "thread_state",
+    "__omp_pop_thread_state": "thread_state",
+}
+
 
 def populate_new_runtime(module: Module, config: RuntimeConfig) -> NewRTGlobals:
     """Build the new runtime's globals and functions inside *module*.

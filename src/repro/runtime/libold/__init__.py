@@ -1,6 +1,7 @@
 """The legacy device runtime baseline ("Old RT" in the evaluation)."""
 
 from repro.runtime.libold.builder import (  # noqa: F401
+    OLD_RT_OVERHEAD_CATEGORIES,
     OLD_RUNTIME_API,
     OldRTGlobals,
     populate_old_runtime,

@@ -64,6 +64,25 @@ OLD_RUNTIME_API = (
     "omp_get_level_old",
 )
 
+#: Overhead attribution for the trace layer (:mod:`repro.trace`):
+#: same categories as the new runtime so traces compare across builds.
+OLD_RT_OVERHEAD_CATEGORIES = {
+    "__kmpc_target_init_old": "target_init",
+    "__kmpc_target_deinit_old": "target_init",
+    "__kmpc_parallel_old": "parallel_region",
+    "__kmpc_distribute_parallel_for_old": "worksharing",
+    "__kmpc_for_static_old": "worksharing",
+    "__kmpc_distribute_static_old": "worksharing",
+    "__kmpc_alloc_shared_old": "shared_stack",
+    "__kmpc_free_shared_old": "shared_stack",
+    "__kmpc_barrier_old": "sync",
+    "omp_get_thread_num_old": "icv_query",
+    "omp_get_num_threads_old": "icv_query",
+    "omp_get_team_num_old": "icv_query",
+    "omp_get_num_teams_old": "icv_query",
+    "omp_get_level_old": "icv_query",
+}
+
 
 @dataclass
 class OldRTGlobals:

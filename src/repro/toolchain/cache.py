@@ -95,11 +95,17 @@ class CompileCache:
         most once per distinct fingerprint."""
         from repro.frontend.driver import compile_program_uncached
 
+        from repro.trace.collector import active_or_none
+
+        trace = active_or_none()
         key = compile_fingerprint(program, options)
         blob = self._entries.get(key)
         if blob is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if trace is not None:
+                trace.instant("cache.hit", cat="toolchain",
+                              source="memory", key=key[:12])
             return self._loads(blob)
         restored = self._disk_load(key)
         if restored is not None:
@@ -107,8 +113,13 @@ class CompileCache:
             self.stats.hits += 1
             self.stats.disk_hits += 1
             self._remember(key, blob)
+            if trace is not None:
+                trace.instant("cache.hit", cat="toolchain",
+                              source="disk", key=key[:12])
             return compiled
         self.stats.misses += 1
+        if trace is not None:
+            trace.instant("cache.miss", cat="toolchain", key=key[:12])
         compiled = compile_program_uncached(program, options)
         blob = self._dumps(compiled)
         if blob is not None:
@@ -199,18 +210,19 @@ _configured = False
 def get_compile_cache() -> Optional[CompileCache]:
     """The process-wide cache ``compile_program`` routes through, built
     from the ``REPRO_CACHE*`` environment on first use (None = disabled)."""
+    from repro import envconfig
+
     global _global_cache, _configured
     if _configured:
         return _global_cache
-    if os.environ.get("REPRO_CACHE", "1").lower() in ("0", "off", "false", "no"):
+    if not envconfig.cache_enabled():
         cache: Optional[CompileCache] = None
     else:
-        if os.environ.get("REPRO_CACHE_DISK", "1").lower() in ("0", "off", "false", "no"):
-            disk_dir: Optional[str] = None
-        else:
-            disk_dir = os.environ.get("REPRO_CACHE_DIR", DEFAULT_DISK_DIR)
+        disk_dir: Optional[str] = (
+            envconfig.cache_dir() if envconfig.cache_disk() else None
+        )
         cache = CompileCache(
-            max_entries=int(os.environ.get("REPRO_CACHE_SIZE", "128")),
+            max_entries=envconfig.cache_size(),
             disk_dir=disk_dir,
         )
     _global_cache = cache

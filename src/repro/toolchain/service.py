@@ -16,28 +16,48 @@ on it.  Workers share compilations through the on-disk compile cache.
 from __future__ import annotations
 
 import concurrent.futures
-import os
 import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import envconfig
 from repro.frontend.driver import CompileOptions
 from repro.toolchain.cache import CompileCache, get_compile_cache
 from repro.toolchain.fingerprint import deep_recursion
+from repro.trace.collector import active_or_none as _active_trace
 
 
 def resolve_jobs(jobs: Optional[int] = None, cells: Optional[int] = None) -> int:
     """Effective worker count: explicit *jobs*, else ``REPRO_JOBS``,
     else 1 (serial); never more than the number of *cells*."""
     if jobs is None:
-        try:
-            jobs = int(os.environ.get("REPRO_JOBS", "1"))
-        except ValueError:
-            jobs = 1
+        jobs = envconfig.jobs()
     jobs = max(1, jobs)
     if cells is not None:
         jobs = min(jobs, max(1, cells))
     return jobs
+
+
+def _emit_pipeline_spans(trace, compiled) -> None:
+    """Export the compile's per-pass timings as host spans (tid 2).
+
+    Cache-restored results carry :class:`PassTiming` records stamped in
+    *another* process (or before this collector's epoch), whose
+    ``perf_counter`` values are meaningless on our clock — only records
+    taken after this collector's epoch are exported.
+    """
+    stats = getattr(compiled, "stats", None)
+    if stats is None:
+        return
+    for t in stats.timings:
+        started = getattr(t, "started_s", 0.0)
+        if started < trace.epoch:
+            continue
+        trace.span_at(
+            f"pass {t.name}", "toolchain", started, t.wall_time_s,
+            tid=2, phase=t.phase, changed=t.changed,
+            instructions_removed=t.instructions_removed,
+        )
 
 
 @dataclass
@@ -115,9 +135,22 @@ class ToolchainSession:
         from repro.frontend.driver import compile_program_uncached
 
         options = options or CompileOptions()
-        if self.cache is None:
-            return compile_program_uncached(program, options)
-        return self.cache.get_or_compile(program, options)
+        trace = _active_trace()
+        if trace is None:
+            if self.cache is None:
+                return compile_program_uncached(program, options)
+            return self.cache.get_or_compile(program, options)
+        with trace.span(
+            "toolchain.compile", cat="toolchain",
+            program=getattr(program, "name", type(program).__name__),
+            cached=self.cache is not None,
+        ):
+            if self.cache is None:
+                compiled = compile_program_uncached(program, options)
+            else:
+                compiled = self.cache.get_or_compile(program, options)
+        _emit_pipeline_spans(trace, compiled)
+        return compiled
 
     # ---------------------------------------------------------------- run --
 

@@ -1,0 +1,43 @@
+"""Runtime-function -> overhead-category attribution.
+
+The paper's overhead analysis groups runtime cycles by construct:
+parallel region entry/exit (§III-B), worksharing ``noChunkImpl``
+invocations (Fig. 5), thread-state allocations/escapes (§III-C),
+shared-stack pushes and global-memory fallbacks (§III-D), and
+aligned vs. unaligned barriers (§III-E / §IV-D).  The execution
+engines count every call to a categorized runtime function into
+``TeamStats.runtime_calls[category]``; the categories themselves are
+declared next to each runtime flavour
+(``NEW_RT_OVERHEAD_CATEGORIES`` / ``OLD_RT_OVERHEAD_CATEGORIES``) and
+merged here.
+
+Counting is by *callee name at the call site the simulator actually
+executes* — after openmp-opt has inlined and folded the runtime, most
+categorized calls are gone, which is the measured face of the paper's
+near-zero-overhead claim (optimized builds show counters near zero;
+``-O0``/nightly builds show the raw call traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.runtime.libnew import NEW_RT_OVERHEAD_CATEGORIES
+from repro.runtime.libold import OLD_RT_OVERHEAD_CATEGORIES
+
+#: All categorized runtime functions, both flavours (names are
+#: disjoint: the old runtime suffixes everything with ``_old``).
+OVERHEAD_CATEGORIES: Dict[str, str] = {
+    **NEW_RT_OVERHEAD_CATEGORIES,
+    **OLD_RT_OVERHEAD_CATEGORIES,
+}
+
+#: The category vocabulary, for schema checks and docs.
+CATEGORY_NAMES = tuple(sorted(set(OVERHEAD_CATEGORIES.values())))
+
+_lookup = OVERHEAD_CATEGORIES.get
+
+
+def runtime_category(function_name: str) -> Optional[str]:
+    """Overhead category of *function_name*, or None if uncategorized."""
+    return _lookup(function_name)

@@ -9,10 +9,10 @@ special-function math is expensive.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import envconfig
 from repro.memory.addrspace import AddressSpace
 
 #: Execution engine names accepted by :class:`repro.vgpu.VirtualGPU`.
@@ -25,7 +25,7 @@ def resolve_sim_engine(engine: Optional[str] = None) -> str:
     """Effective execution engine: explicit *engine*, else the
     ``REPRO_SIM_ENGINE`` environment variable, else ``decoded``."""
     if engine is None:
-        engine = os.environ.get("REPRO_SIM_ENGINE", ENGINE_DECODED)
+        engine = envconfig.sim_engine()
     engine = engine.strip().lower()
     if engine not in ENGINES:
         raise ValueError(
@@ -39,10 +39,7 @@ def resolve_sim_jobs(sim_jobs: Optional[int] = None, teams: Optional[int] = None
     *sim_jobs*, else ``REPRO_SIM_JOBS``, else 1 (serial); never more
     than the number of *teams*."""
     if sim_jobs is None:
-        try:
-            sim_jobs = int(os.environ.get("REPRO_SIM_JOBS", "1"))
-        except ValueError:
-            sim_jobs = 1
+        sim_jobs = envconfig.sim_jobs()
     sim_jobs = max(1, sim_jobs)
     if teams is not None:
         sim_jobs = min(sim_jobs, max(1, teams))

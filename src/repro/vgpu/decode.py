@@ -66,6 +66,7 @@ from repro.ir.instructions import (
     Unreachable,
 )
 from repro.ir.intrinsics import intrinsic_info
+from repro.trace.categories import OVERHEAD_CATEGORIES
 from repro.ir.module import Function
 from repro.ir.types import FloatType, IntType, I64
 from repro.ir.values import Constant, GlobalVariable, UndefValue
@@ -811,6 +812,15 @@ def _h_call(vm, thread, frame, op):
     return op[6]
 
 
+def _h_call_rt(vm, thread, frame, op):
+    # direct call to a categorized runtime function:
+    # (h, "call", next, dest, callee, arg_slots, cost, category).
+    # Chosen at decode time so uncategorized calls pay no lookup.
+    thread.stats.runtime_calls[op[7]] += 1
+    _push_call(vm, thread, frame, op[2], op[3], op[4], op[5])
+    return op[6]
+
+
 def _h_badcall(vm, thread, frame, op):
     # (h, "call", 0, callee_name)
     raise SimulationError(f"call to undefined function @{op[3]}")
@@ -844,6 +854,9 @@ def _h_icall(vm, thread, frame, op):
             f"call to @{callee.name}: {len(op[5])} args for "
             f"{len(callee.args)} params"
         )
+    category = OVERHEAD_CATEGORIES.get(callee.name)
+    if category is not None:
+        thread.stats.runtime_calls[category] += 1
     _push_call(vm, thread, frame, op[2], op[3], callee, op[5])
     return vm.cost.config.call_cost
 
@@ -999,8 +1012,10 @@ def _run_intrinsic(vm, thread, frame, name, info, argv, dest, coerce, inst, next
         addr = int(argv[0])
         stats.output.append(vm._string_table.get(addr, f"<str {addr:#x}>"))
     elif name == "malloc":
+        stats.device_mallocs += 1
         result = vm.memory.malloc(int(argv[0]))
     elif name == "free":
+        stats.device_frees += 1
         vm.memory.free(int(argv[0]))
     elif name == "llvm.memset":
         vm.memory.memset(
@@ -1341,6 +1356,12 @@ def decode_function(func: Function, cost: CostModel, warp_size: int) -> DecodedF
                 f"{len(callee.args)} params",
             )
         arg_slots = tuple(operand(a) for a in inst.args)
+        category = OVERHEAD_CATEGORIES.get(callee.name)
+        if category is not None:
+            return (
+                _h_call_rt, "call", next_pc, d, callee, arg_slots,
+                cfg.call_cost, category,
+            )
         return (_h_call, "call", next_pc, d, callee, arg_slots, cfg.call_cost)
 
     emitters = {
@@ -1429,6 +1450,8 @@ def run_thread(vm, thread: ThreadContext) -> None:
     exit path (including exceptions), so the profile counters match
     the legacy engine even on traps and step-limit aborts.
     """
+    if vm._trace is not None:
+        return _run_thread_traced(vm, thread)
     max_steps = vm.config.max_steps_per_thread
     counts = thread.stats.opcode_counts
     frames = thread.frames
@@ -1450,6 +1473,44 @@ def run_thread(vm, thread: ThreadContext) -> None:
         # A None register means an SSA value was read before any
         # definition executed — the decoded-engine analogue of the
         # legacy "use of undefined value" error.
+        raise SimulationError(
+            f"use of undefined value in @{frames[-1].function.name}: {exc}"
+            if frames
+            else f"use of undefined value: {exc}"
+        ) from exc
+    finally:
+        thread.steps = steps
+        thread.phase_cycles += cycles
+    if thread.status is _DONE:
+        thread.total_cycles += thread.phase_cycles
+
+
+def _run_thread_traced(vm, thread: ThreadContext) -> None:
+    """Tracing variant of :func:`run_thread`: identical semantics plus
+    per-IR-function cycle attribution.  Deltas are added even when zero
+    so both engines produce the same ``function_cycles`` key set (every
+    function that executed at least one instruction)."""
+    max_steps = vm.config.max_steps_per_thread
+    counts = thread.stats.opcode_counts
+    fn_cycles = thread.stats.function_cycles
+    frames = thread.frames
+    steps = thread.steps
+    cycles = 0
+    try:
+        while thread.status is _RUNNING:
+            frame = frames[-1]
+            op = frame.ops[frame.pc]
+            steps += 1
+            if steps > max_steps:
+                raise StepLimitExceeded(
+                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
+                    f"{max_steps} steps in @{frame.function.name}"
+                )
+            counts[op[1]] += 1
+            c = op[0](vm, thread, frame, op)
+            cycles += c
+            fn_cycles[frame.function.name] += c
+    except TypeError as exc:
         raise SimulationError(
             f"use of undefined value in @{frames[-1].function.name}: {exc}"
             if frames

@@ -87,8 +87,12 @@ from repro.vgpu.execstate import (  # noqa: F401 (Frame/ThreadStatus re-exported
     atomic_apply,
     math_intrinsic,
 )
+from repro.trace.categories import OVERHEAD_CATEGORIES
+from repro.trace.collector import active_or_none as _active_trace
 from repro.vgpu.profiler import KernelProfile, TeamStats
 from repro.vgpu.resources import measure_resources
+
+_RUNTIME_CATEGORY = OVERHEAD_CATEGORIES.get
 
 _RUNNING = ThreadStatus.RUNNING
 _AT_BARRIER = ThreadStatus.AT_BARRIER
@@ -107,10 +111,16 @@ class VirtualGPU:
         debug_checks: bool = False,
         env: Optional[Dict[str, int]] = None,
         engine: Optional[str] = None,
+        trace=None,
     ) -> None:
         self.module = module
         self.config = config
         self.cost = CostModel(config)
+        #: Trace collector, or None when tracing is disabled (the
+        #: default).  The hot loops branch on this exactly once per
+        #: phase, so the disabled path is byte-identical to the
+        #: pre-tracing engine (guarded by the simperf overhead test).
+        self._trace = trace if trace is not None else _active_trace()
         #: When True the simulator verifies assumptions and aligned-barrier
         #: alignment — the dynamic half of the paper's debug mode.
         self.debug_checks = debug_checks
@@ -303,6 +313,17 @@ class VirtualGPU:
         for wave_start in range(0, num_teams, self.config.num_sms):
             total += max(team_times[wave_start : wave_start + self.config.num_sms])
         profile.cycles = total
+
+        if self._trace is not None:
+            # Events derive from merged per-team data, in team order —
+            # serial and parallel simulation emit identical traces.
+            from repro.trace.device import emit_launch_events
+
+            emit_launch_events(
+                self._trace, profile, self.config,
+                phase_logs=[stats.phase_log for _, stats in results],
+                engine=self.engine,
+            )
         return profile
 
     # ------------------------------------------------------------- team driver --
@@ -352,6 +373,7 @@ class VirtualGPU:
         # either DONE or AT_BARRIER, so each pass over `alive` runs one
         # phase; no per-iteration runnable-list rebuild is needed.
         team_time = 0
+        plog = stats.phase_log if self._trace is not None else None
         alive = list(threads)
         while alive:
             for thread in alive:
@@ -380,12 +402,21 @@ class VirtualGPU:
             phase = max(t.phase_cycles for t in threads)
             team_time += phase + barrier_cost
             stats.barriers += 1
+            if aligned:
+                stats.barriers_aligned += 1
+            else:
+                stats.barriers_unaligned += 1
+            if plog is not None:
+                plog.append((phase, barrier_cost, aligned))
             for t in threads:
                 t.phase_cycles = 0
                 if t.status is _AT_BARRIER:
                     t.status = _RUNNING
                     t.barrier_call = None
-        team_time += max((t.phase_cycles for t in threads), default=0)
+        tail = max((t.phase_cycles for t in threads), default=0)
+        team_time += tail
+        if plog is not None:
+            plog.append((tail, 0, None))
         for t in threads:
             stats.instructions += t.steps
         stats.shared_stack_high_water = max(
@@ -415,6 +446,8 @@ class VirtualGPU:
         self, thread: ThreadContext, launch: LaunchConfig, stats: TeamStats
     ) -> None:
         """Run *thread* until it terminates or arrives at a barrier."""
+        if self._trace is not None:
+            return self._run_thread_traced(thread, launch, stats)
         max_steps = self.config.max_steps_per_thread
         while thread.status is _RUNNING:
             frame = thread.frame
@@ -426,6 +459,27 @@ class VirtualGPU:
                     f"{max_steps} steps in @{frame.function.name}"
                 )
             self._execute(inst, thread, launch, stats)
+
+    def _run_thread_traced(
+        self, thread: ThreadContext, launch: LaunchConfig, stats: TeamStats
+    ) -> None:
+        """Tracing variant of :meth:`_run_thread`: identical semantics
+        and cycle charges, plus per-IR-function cycle attribution
+        (each instruction's cycles go to the function executing it)."""
+        max_steps = self.config.max_steps_per_thread
+        fn_cycles = stats.function_cycles
+        while thread.status is _RUNNING:
+            frame = thread.frame
+            inst = frame.block.instructions[frame.index]
+            thread.steps += 1
+            if thread.steps > max_steps:
+                raise StepLimitExceeded(
+                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
+                    f"{max_steps} steps in @{frame.function.name}"
+                )
+            before = thread.phase_cycles
+            self._execute(inst, thread, launch, stats)
+            fn_cycles[frame.function.name] += thread.phase_cycles - before
 
     # -------------------------------------------------------------- evaluation --
 
@@ -644,6 +698,10 @@ class VirtualGPU:
         if callee.is_declaration:
             raise SimulationError(f"call to undefined function @{callee.name}")
 
+        category = _RUNTIME_CATEGORY(callee.name)
+        if category is not None:
+            stats.runtime_calls[category] += 1
+
         thread.phase_cycles += self.cost.config.call_cost
         new_frame = Frame(callee, inst)
         if len(inst.args) != len(callee.args):
@@ -722,8 +780,10 @@ class VirtualGPU:
             addr = int(argv[0])
             stats.output.append(self._string_table.get(addr, f"<str {addr:#x}>"))
         elif name == "malloc":
+            stats.device_mallocs += 1
             result = self.memory.malloc(int(argv[0]))
         elif name == "free":
+            stats.device_frees += 1
             self.memory.free(int(argv[0]))
         elif name == "llvm.memset":
             self.memory.memset(

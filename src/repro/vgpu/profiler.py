@@ -15,9 +15,10 @@ parallel team simulation — cannot drift apart in what they count.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Tuple
 
 from repro.memory.addrspace import AddressSpace
 
@@ -49,6 +50,24 @@ class TeamStats:
     barriers: int = 0
     output: List[str] = field(default_factory=list)
     shared_stack_high_water: int = 0
+    #: Executed calls to categorized runtime functions, keyed by the
+    #: paper overhead category (:mod:`repro.trace.categories`).
+    runtime_calls: Counter = field(default_factory=Counter)
+    #: Barrier phases closed by an aligned / unaligned barrier.
+    barriers_aligned: int = 0
+    barriers_unaligned: int = 0
+    #: Device-side ``malloc``/``free`` executions — the shared-stack
+    #: global-memory fallback of §III-D.
+    device_mallocs: int = 0
+    device_frees: int = 0
+    #: Cycles attributed per IR function (populated only while tracing
+    #: is enabled; the fast paths never touch it).
+    function_cycles: Counter = field(default_factory=Counter)
+    #: Per-phase trace log ``(phase_cycles, barrier_cost, aligned)``;
+    #: appended by the team driver only while tracing is enabled and
+    #: consumed by :mod:`repro.trace.device` (never merged into the
+    #: profile).
+    phase_log: List[Tuple[int, int, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -80,6 +99,17 @@ class KernelProfile:
     team_cycles: Dict[int, int] = field(default_factory=dict)
     #: Peak dynamic shared-stack usage observed (bytes, diagnostic).
     shared_stack_high_water: int = 0
+    #: Runtime-overhead call counters by paper category (see
+    #: :mod:`repro.trace.categories`).
+    runtime_calls: Counter = field(default_factory=Counter)
+    #: Barrier phases closed by an aligned / unaligned barrier.
+    barriers_aligned: int = 0
+    barriers_unaligned: int = 0
+    #: Device-side malloc/free executions (global-memory fallbacks).
+    device_mallocs: int = 0
+    device_frees: int = 0
+    #: Cycles attributed per IR function (tracing only; empty otherwise).
+    function_cycles: Counter = field(default_factory=Counter)
 
     def merge_team(self, team_id: int, team_time: int, stats: TeamStats) -> None:
         """Fold one team's counters into the launch profile.
@@ -100,6 +130,12 @@ class KernelProfile:
         self.shared_stack_high_water = max(
             self.shared_stack_high_water, stats.shared_stack_high_water
         )
+        self.runtime_calls.update(stats.runtime_calls)
+        self.barriers_aligned += stats.barriers_aligned
+        self.barriers_unaligned += stats.barriers_unaligned
+        self.device_mallocs += stats.device_mallocs
+        self.device_frees += stats.device_frees
+        self.function_cycles.update(stats.function_cycles)
 
     @property
     def time_seconds(self) -> float:
@@ -131,7 +167,88 @@ class KernelProfile:
 
     def summary(self) -> str:
         return (
-            f"{self.kernel_name}: {self.cycles} cycles, "
+            f"{self.kernel_name}[{self.num_teams}x{self.threads_per_team}]: "
+            f"{self.cycles} cycles ({self.time_ms:.3f} ms), "
             f"{self.instructions} insts, {self.registers} regs, "
             f"{self.shared_memory_bytes}B smem, {self.barriers} barriers"
         )
+
+    # ------------------------------------------------------- serialization --
+
+    def overhead_counters(self) -> Dict[str, int]:
+        """Flat runtime-overhead counters in the paper's categories
+        (exported as the trace's ``runtime_overhead`` counter track)."""
+        out = {f"runtime.{k}": v for k, v in sorted(self.runtime_calls.items())}
+        out["barriers.total"] = self.barriers
+        out["barriers.aligned"] = self.barriers_aligned
+        out["barriers.unaligned"] = self.barriers_unaligned
+        out["shared_stack.high_water_bytes"] = self.shared_stack_high_water
+        out["global_fallback.mallocs"] = self.device_mallocs
+        out["global_fallback.frees"] = self.device_frees
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of every field plus the derived metrics."""
+        return {
+            "kernel_name": self.kernel_name,
+            "num_teams": self.num_teams,
+            "threads_per_team": self.threads_per_team,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "opcode_counts": dict(sorted(self.opcode_counts.items())),
+            "loads_by_space": {
+                space.name: count
+                for space, count in sorted(
+                    self.loads_by_space.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "stores_by_space": {
+                space.name: count
+                for space, count in sorted(
+                    self.stores_by_space.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "flops": self.flops,
+            "barriers": self.barriers,
+            "output": list(self.output),
+            "registers": self.registers,
+            "shared_memory_bytes": self.shared_memory_bytes,
+            "team_cycles": {str(k): v for k, v in sorted(self.team_cycles.items())},
+            "shared_stack_high_water": self.shared_stack_high_water,
+            "runtime_calls": dict(sorted(self.runtime_calls.items())),
+            "barriers_aligned": self.barriers_aligned,
+            "barriers_unaligned": self.barriers_unaligned,
+            "device_mallocs": self.device_mallocs,
+            "device_frees": self.device_frees,
+            "function_cycles": dict(sorted(self.function_cycles.items())),
+            # Derived metrics (ignored by from_dict).
+            "time_ms": self.time_ms,
+            "gflops": self.gflops,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KernelProfile":
+        """Inverse of :meth:`to_dict` (derived keys are recomputed)."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        for counter_key in ("opcode_counts", "runtime_calls", "function_cycles"):
+            if counter_key in kwargs:
+                kwargs[counter_key] = Counter(kwargs[counter_key])
+        for space_key in ("loads_by_space", "stores_by_space"):
+            if space_key in kwargs:
+                kwargs[space_key] = Counter({
+                    AddressSpace[name]: count
+                    for name, count in kwargs[space_key].items()
+                })
+        if "team_cycles" in kwargs:
+            kwargs["team_cycles"] = {
+                int(k): v for k, v in kwargs["team_cycles"].items()
+            }
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "KernelProfile":
+        return cls.from_dict(json.loads(text))

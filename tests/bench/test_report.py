@@ -23,6 +23,7 @@ DETERMINISTIC_SECTIONS = (
     "fig12_gridmini_gflops",
     "fig13_ablation_cycles",
     "oversubscription",
+    "kernel_profiles",
 )
 
 

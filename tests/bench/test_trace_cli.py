@@ -1,0 +1,44 @@
+"""CLI wiring for ``python -m repro.bench trace``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.trace_cli import _slug, default_metrics_out, default_out
+from repro.trace import validate_chrome_trace
+
+
+def test_slug_is_filesystem_safe():
+    assert _slug("Old RT (Nightly)") == "old-rt-nightly"
+    assert default_out("xsbench", "New RT") == "TRACE_xsbench_new-rt.json"
+    assert default_metrics_out("xsbench", "New RT").endswith(".metrics.json")
+
+
+@pytest.mark.trace
+def test_trace_smoke_command(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    rc = main([
+        "bench", "trace", "--smoke",
+        "--out", str(out), "--metrics-out", str(metrics),
+    ])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "traced testsnap" in printed
+    assert "perfetto" in printed
+
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert {"toolchain", "runtime", "vgpu", "bench"} <= {
+        e.get("cat") for e in doc["traceEvents"]
+    }
+    assert json.loads(metrics.read_text())["schema"] == "repro.trace.metrics/1"
+
+
+def test_trace_is_a_known_command():
+    from repro.bench.__main__ import COMMANDS
+
+    assert "trace" in COMMANDS

@@ -1,0 +1,133 @@
+"""Tests for the centralized REPRO_* environment knob registry."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import envconfig
+
+
+class TestFlagParsing:
+    @pytest.mark.parametrize("raw", ["0", "off", "false", "no", "", "OFF", "False"])
+    def test_falsy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert envconfig.trace_enabled() is False
+
+    @pytest.mark.parametrize("raw", ["1", "on", "true", "yes", "anything"])
+    def test_truthy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert envconfig.trace_enabled() is True
+
+    def test_unset_uses_registry_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert envconfig.trace_enabled() is False  # default "0"
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert envconfig.cache_enabled() is True  # default "1"
+
+
+class TestIntParsing:
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_JOBS", "7")
+        assert envconfig.sim_jobs() == 7
+
+    def test_malformed_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_JOBS", "lots")
+        assert envconfig.sim_jobs() == 1
+
+    def test_unset_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_SIZE", raising=False)
+        assert envconfig.cache_size() == 128
+
+
+class TestStrParsing:
+    def test_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert envconfig.cache_dir() == "/tmp/somewhere"
+
+    def test_unset_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert envconfig.sim_engine() == "decoded"
+
+
+class TestRegistry:
+    def test_undocumented_knob_rejected(self):
+        with pytest.raises(KeyError):
+            envconfig.env_flag("REPRO_UNDOCUMENTED")
+        with pytest.raises(KeyError):
+            envconfig.env_int("REPRO_NOPE")
+        with pytest.raises(KeyError):
+            envconfig.env_str("REPRO_NADA")
+
+    def test_expected_knobs_present(self):
+        expected = {
+            "REPRO_SIM_ENGINE", "REPRO_SIM_JOBS", "REPRO_JOBS",
+            "REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_CACHE_DISK",
+            "REPRO_CACHE_SIZE", "REPRO_TRACE",
+        }
+        assert expected == set(envconfig.KNOBS)
+
+    def test_no_stray_env_reads_outside_registry(self):
+        """Every ``REPRO_*`` environment variable mentioned anywhere in
+        the source tree must be a documented knob — the point of having
+        one config module."""
+        src = Path(envconfig.__file__).resolve().parent
+        names = set()
+        for path in src.rglob("*.py"):
+            names |= set(re.findall(r"REPRO_[A-Z_]+", path.read_text()))
+        assert names <= set(envconfig.KNOBS), (
+            f"undocumented REPRO_* names in src: "
+            f"{sorted(names - set(envconfig.KNOBS))}"
+        )
+
+    def test_describe_env_mentions_every_knob(self):
+        text = envconfig.describe_env()
+        for name in envconfig.KNOBS:
+            assert name in text
+
+
+class TestDelegation:
+    """The legacy per-subsystem resolvers now route through envconfig."""
+
+    def test_sim_engine_resolver(self, monkeypatch):
+        from repro.vgpu.config import resolve_sim_engine
+
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "legacy")
+        assert resolve_sim_engine() == "legacy"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "bogus")
+        with pytest.raises(ValueError):
+            resolve_sim_engine()
+
+    def test_sim_jobs_resolver(self, monkeypatch):
+        from repro.vgpu.config import resolve_sim_jobs
+
+        monkeypatch.setenv("REPRO_SIM_JOBS", "4")
+        assert resolve_sim_jobs() == 4
+        assert resolve_sim_jobs(teams=2) == 2
+
+    def test_jobs_resolver(self, monkeypatch):
+        from repro.toolchain.service import resolve_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert resolve_jobs(cells=2) == 2
+
+    def test_cache_construction(self, monkeypatch):
+        from repro.toolchain import cache as toolchain_cache
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        toolchain_cache.reset_compile_cache()
+        try:
+            assert toolchain_cache.get_compile_cache() is None
+            monkeypatch.setenv("REPRO_CACHE", "1")
+            monkeypatch.setenv("REPRO_CACHE_DISK", "0")
+            monkeypatch.setenv("REPRO_CACHE_SIZE", "5")
+            toolchain_cache.reset_compile_cache()
+            cache = toolchain_cache.get_compile_cache()
+            assert cache is not None
+            assert cache.disk_dir is None
+            assert cache.max_entries == 5
+        finally:
+            toolchain_cache.reset_compile_cache()

@@ -1,0 +1,100 @@
+"""Chrome Trace Format export and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace import (
+    TraceCollector,
+    TraceConfig,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+def _valid_doc():
+    c = TraceCollector(TraceConfig(labels={"app": "t"}))
+    with c.span("s", cat="bench"):
+        pass
+    c.instant("i", cat="toolchain")
+    c.counter("c", {"k": 1}, cat="runtime")
+    return chrome_trace(c, other_data={"extra": True})
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = _valid_doc()
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["generator"] == "repro.trace"
+        assert doc["otherData"]["app"] == "t"
+        assert doc["otherData"]["extra"] is True
+
+    def test_valid_doc_passes(self):
+        assert validate_chrome_trace(_valid_doc()) == []
+
+    def test_json_serializable(self):
+        json.dumps(_valid_doc())
+
+    def test_write_and_reload(self, tmp_path):
+        c = TraceCollector()
+        with c.span("s"):
+            pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(c, str(path), indent=1)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_write_metrics(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_metrics({"schema": "repro.trace.metrics/1", "n": 3}, str(path))
+        assert json.loads(path.read_text())["n"] == 3
+
+
+class TestValidation:
+    def test_non_object_document(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace(None) != []
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["missing or non-array traceEvents"]
+
+    def test_bad_phase(self):
+        errs = validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0}
+        ]})
+        assert any("bad ph" in e for e in errs)
+
+    def test_missing_required_keys(self):
+        errs = validate_chrome_trace({"traceEvents": [
+            {"ph": "i", "ts": 0.0}
+        ]})
+        assert any("missing name" in e for e in errs)
+        assert any("missing pid" in e for e in errs)
+        assert any("missing tid" in e for e in errs)
+
+    def test_negative_or_missing_ts(self):
+        errs = validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "i", "pid": 1, "tid": 1, "ts": -1}
+        ]})
+        assert any("bad ts" in e for e in errs)
+
+    def test_complete_needs_duration(self):
+        errs = validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}
+        ]})
+        assert any("bad dur" in e for e in errs)
+
+    def test_counter_needs_args(self):
+        errs = validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "C", "pid": 1, "tid": 0, "ts": 0}
+        ]})
+        assert any("counter without args" in e for e in errs)
+
+    def test_metadata_event_needs_no_ts(self):
+        assert validate_chrome_trace({"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "x"}}
+        ]}) == []

@@ -1,0 +1,107 @@
+"""Near-zero-overhead guard: with tracing disabled, the simulator must
+execute the exact pre-tracing hot loops — no traced variants, no
+per-instruction attribution, no phase logging."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.builds import BUILD_ORDER, build_options
+from repro.bench.harness import APPS
+from repro.trace import NULL_COLLECTOR, TraceCollector
+from repro.trace.collector import get_collector, install, reset
+from repro.vgpu import GPUConfig, VirtualGPU
+from repro.vgpu import decode as decode_mod
+from repro.vgpu import interpreter as interp_mod
+
+SIZE = {"n_atoms": 64, "n_neighbors": 4}
+
+
+def _launch(engine, trace=None):
+    app = APPS["testsnap"]
+    options = build_options()[BUILD_ORDER[0]]
+    from repro.toolchain.service import ToolchainSession
+
+    compiled = ToolchainSession().compile(app.build_program(SIZE), options)
+    gpu = VirtualGPU(compiled.module, config=GPUConfig(), engine=engine,
+                     trace=trace)
+    host_args, _ = app.prepare(gpu, SIZE)
+    args = compiled.abi(app.KERNEL).marshal(gpu, host_args)
+    profile = gpu.launch(app.KERNEL, args, app.TEAMS, app.THREADS)
+    return gpu, profile
+
+
+class TestDisabledPath:
+    def test_disabled_collector_is_the_shared_noop_singleton(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        reset()
+        try:
+            assert get_collector() is NULL_COLLECTOR
+        finally:
+            reset()
+
+    def test_gpu_trace_is_none_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        reset()
+        try:
+            gpu, _ = _launch("decoded")
+            assert gpu._trace is None
+        finally:
+            reset()
+
+    @pytest.mark.parametrize("engine", ["legacy", "decoded"])
+    def test_traced_loops_never_run_when_disabled(self, engine, monkeypatch):
+        def boom(*a, **k):  # pragma: no cover - must not execute
+            raise AssertionError("traced loop entered with tracing disabled")
+
+        monkeypatch.setattr(decode_mod, "_run_thread_traced", boom)
+        monkeypatch.setattr(interp_mod.VirtualGPU, "_run_thread_traced", boom)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        reset()
+        try:
+            _, profile = _launch(engine)
+        finally:
+            reset()
+        # ...and the trace-only fields stay untouched.
+        assert profile.function_cycles == {}
+
+    @pytest.mark.parametrize("engine", ["legacy", "decoded"])
+    def test_traced_loops_do_run_when_enabled(self, engine):
+        collector = TraceCollector()
+        with install(collector):
+            _, profile = _launch(engine, trace=collector)
+        assert profile.function_cycles
+        assert any(e.get("ph") == "C" and e["name"] == "runtime_overhead"
+                   for e in collector.events_snapshot())
+
+
+@pytest.mark.simperf
+def test_disabled_tracing_throughput_guard():
+    """Generous wall-clock smoke: a disabled-trace launch must not be
+    dramatically slower than a second disabled-trace launch, and an
+    enabled-trace launch must not be more than ~an order of magnitude
+    slower (it does strictly more bookkeeping).  The strict <2%
+    regression bound is tracked by ``python -m repro.bench simperf``
+    against ``BENCH_sim.json``; this test only catches the failure mode
+    where the disabled path accidentally routes through the traced
+    loop *and* the traced loop grows pathological."""
+    reset()
+    try:
+        def timed(trace):
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                _launch("decoded", trace=trace)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        with install(NULL_COLLECTOR):
+            disabled = timed(None)
+        collector = TraceCollector()
+        with install(collector):
+            enabled = timed(collector)
+        assert disabled < enabled * 10, (disabled, enabled)
+    finally:
+        reset()

@@ -1,0 +1,97 @@
+"""Trace determinism: serial vs. parallel team simulation must emit
+identical device event lists and counter totals, and the two execution
+engines must agree on every trace-visible counter.
+
+Device events are assembled post-merge from per-team phase logs (in
+team order), never from worker threads — these tests pin that design.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench.builds import BUILD_ORDER, build_options
+from repro.bench.harness import APPS
+from repro.frontend.driver import CompileOptions
+from repro.passes.pass_manager import PipelineConfig
+from repro.trace import PID_DEVICE, TraceCollector
+from repro.trace.collector import install
+
+SIZE = {"n_atoms": 64, "n_neighbors": 4}
+GEOMETRY = dict(num_teams=4, threads_per_team=32)
+
+#: Build cells: an optimized build (runtime inlined away, counters near
+#: zero) and an -O0 build (raw runtime call traffic, §III categories).
+CELLS = {
+    "optimized": lambda: build_options()[BUILD_ORDER[0]],
+    "o0": lambda: CompileOptions(pipeline=PipelineConfig.o0()),
+}
+
+
+def _traced_run(options, engine, sim_jobs):
+    collector = TraceCollector()
+    with install(collector):
+        result = APPS["testsnap"].run(
+            options, size=SIZE, engine=engine, sim_jobs=sim_jobs, **GEOMETRY
+        )
+    assert result.verified
+    return result.profile, collector
+
+
+def _device_events(collector):
+    return [e for e in collector.events_snapshot() if e.get("pid") == PID_DEVICE]
+
+
+def _without_engine_label(events):
+    out = copy.deepcopy(events)
+    for e in out:
+        if isinstance(e.get("args"), dict):
+            e["args"].pop("engine", None)
+    return out
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+@pytest.mark.parametrize("engine", ["legacy", "decoded"])
+def test_serial_vs_parallel_identical(cell, engine):
+    options = CELLS[cell]()
+    serial_profile, serial = _traced_run(options, engine, sim_jobs=None)
+    parallel_profile, parallel = _traced_run(options, engine, sim_jobs=2)
+
+    assert serial_profile.overhead_counters() == parallel_profile.overhead_counters()
+    assert serial_profile.function_cycles == parallel_profile.function_cycles
+    # The device timeline must be *identical* — same events, same
+    # order, same timestamps — regardless of worker count.
+    assert _device_events(serial) == _device_events(parallel)
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_legacy_vs_decoded_trace_equal(cell):
+    options = CELLS[cell]()
+    legacy_profile, legacy = _traced_run(options, "legacy", sim_jobs=None)
+    decoded_profile, decoded = _traced_run(options, "decoded", sim_jobs=None)
+
+    assert legacy_profile.runtime_calls == decoded_profile.runtime_calls
+    assert legacy_profile.barriers_aligned == decoded_profile.barriers_aligned
+    assert legacy_profile.barriers_unaligned == decoded_profile.barriers_unaligned
+    assert legacy_profile.device_mallocs == decoded_profile.device_mallocs
+    assert legacy_profile.device_frees == decoded_profile.device_frees
+    assert legacy_profile.function_cycles == decoded_profile.function_cycles
+    assert legacy_profile.overhead_counters() == decoded_profile.overhead_counters()
+    # Device timelines agree up to the engine label on the kernel span.
+    assert _without_engine_label(_device_events(legacy)) == \
+        _without_engine_label(_device_events(decoded))
+
+
+def test_o0_build_shows_raw_runtime_traffic():
+    """The measured face of the paper's claim: without openmp-opt the
+    runtime call categories are hot; the optimized build zeroes them."""
+    o0_profile, _ = _traced_run(CELLS["o0"](), "decoded", sim_jobs=None)
+    opt_profile, _ = _traced_run(CELLS["optimized"](), "decoded", sim_jobs=None)
+
+    assert o0_profile.runtime_calls["target_init"] > 0
+    assert o0_profile.runtime_calls["parallel_region"] > 0
+    assert o0_profile.runtime_calls["worksharing"] > 0
+    assert sum(opt_profile.runtime_calls.values()) < \
+        sum(o0_profile.runtime_calls.values())

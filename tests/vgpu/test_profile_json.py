@@ -1,0 +1,91 @@
+"""KernelProfile serialization round-trip and summary shape."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.memory.addrspace import AddressSpace
+from repro.vgpu.profiler import KernelProfile, TeamStats
+
+
+def _populated_profile() -> KernelProfile:
+    p = KernelProfile(kernel_name="k", num_teams=2, threads_per_team=32)
+    p.registers = 40
+    p.shared_memory_bytes = 512
+    p.cycles = 12345
+    stats = TeamStats()
+    stats.instructions = 100
+    stats.opcode_counts.update({"add": 60, "call": 40})
+    stats.loads_by_space[AddressSpace.GLOBAL] = 10
+    stats.stores_by_space[AddressSpace.SHARED] = 4
+    stats.flops = 7
+    stats.barriers = 3
+    stats.barriers_aligned = 1
+    stats.barriers_unaligned = 2
+    stats.output.append("hi")
+    stats.shared_stack_high_water = 64
+    stats.runtime_calls.update({"parallel_region": 2, "worksharing": 5})
+    stats.device_mallocs = 1
+    stats.device_frees = 1
+    stats.function_cycles.update({"k": 900, "helper": 100})
+    p.merge_team(0, 6000, stats)
+    p.merge_team(1, 6345, TeamStats())
+    return p
+
+
+class TestRoundTrip:
+    def test_to_json_from_json_preserves_every_field(self):
+        p = _populated_profile()
+        q = KernelProfile.from_json(p.to_json())
+        assert q == p
+
+    def test_counter_types_restored(self):
+        q = KernelProfile.from_json(_populated_profile().to_json())
+        assert isinstance(q.opcode_counts, Counter)
+        assert isinstance(q.runtime_calls, Counter)
+        assert isinstance(q.function_cycles, Counter)
+
+    def test_address_space_keys_restored(self):
+        q = KernelProfile.from_json(_populated_profile().to_json())
+        assert q.loads_by_space[AddressSpace.GLOBAL] == 10
+        assert q.stores_by_space[AddressSpace.SHARED] == 4
+
+    def test_team_cycles_keys_are_ints(self):
+        q = KernelProfile.from_json(_populated_profile().to_json())
+        assert q.team_cycles == {0: 6000, 1: 6345}
+
+    def test_derived_keys_present_but_ignored_on_load(self):
+        p = _populated_profile()
+        d = p.to_dict()
+        assert d["time_ms"] == p.time_ms
+        assert d["gflops"] == p.gflops
+        # round-trips even though the dict carries derived keys
+        assert KernelProfile.from_dict(d) == p
+
+    def test_json_is_plain_data(self):
+        json.loads(_populated_profile().to_json())
+
+
+class TestOverheadCounters:
+    def test_flat_counter_dict(self):
+        oc = _populated_profile().overhead_counters()
+        assert oc["runtime.parallel_region"] == 2
+        assert oc["runtime.worksharing"] == 5
+        assert oc["barriers.total"] == 3
+        assert oc["barriers.aligned"] == 1
+        assert oc["barriers.unaligned"] == 2
+        assert oc["shared_stack.high_water_bytes"] == 64
+        assert oc["global_fallback.mallocs"] == 1
+        assert oc["global_fallback.frees"] == 1
+
+
+class TestSummary:
+    def test_summary_includes_launch_shape_and_time(self):
+        p = _populated_profile()
+        text = p.summary()
+        assert "k[2x32]" in text
+        assert str(p.cycles) in text
+        assert f"{p.time_ms:.3f} ms" in text
+        assert "regs" in text
+        assert "512B smem" in text
