@@ -1,13 +1,14 @@
 # Convenience targets for the reproduction repo.
 #
 # `make verify` is the one-shot health check: tier-1 tests, the
-# simulator-throughput smoke and the end-to-end tracing smoke (the
-# same cells run under the `simperf` and `trace` pytest markers).
+# simulator-throughput smoke, the end-to-end tracing smoke and the
+# fault-injection smoke (the same cells run under the `simperf`,
+# `trace` and `faults` pytest markers).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify simperf trace figures clean
+.PHONY: test verify simperf trace faults figures clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -15,6 +16,7 @@ test:
 verify: test
 	$(PYTHON) -m repro.bench simperf --quick --out -
 	$(PYTHON) -m repro.bench trace --smoke
+	$(PYTHON) -m repro.bench faults --smoke
 	@echo "verify: OK"
 
 simperf:
@@ -22,6 +24,9 @@ simperf:
 
 trace:
 	$(PYTHON) -m repro.bench trace --smoke
+
+faults:
+	$(PYTHON) -m repro.bench faults
 
 figures:
 	$(PYTHON) -m repro.bench all

@@ -89,12 +89,18 @@ def run_proxy_app(
     env: Optional[Dict[str, int]] = None,
     engine: Optional[str] = None,
     sim_jobs: Optional[int] = None,
+    sanitize: Optional[bool] = None,
+    faults=None,
+    watchdog_s: Optional[float] = None,
 ) -> AppRunResult:
     """Compile *program* under *options*, run *kernel*, verify, profile.
 
     ``engine`` picks the execution engine (``decoded``/``legacy``, see
     :func:`repro.vgpu.resolve_sim_engine`); ``sim_jobs`` simulates
     teams on that many worker threads (profiles are unchanged).
+    ``sanitize``/``faults``/``watchdog_s`` thread through to
+    :class:`VirtualGPU`/``launch`` (robustness knobs; see README
+    "Robustness").
     """
     compiled = compile_program(program, options)
     gpu = VirtualGPU(
@@ -103,10 +109,13 @@ def run_proxy_app(
         debug_checks=debug_checks,
         env=env,
         engine=engine,
+        sanitize=sanitize,
+        faults=faults,
     )
     host_args, verify = prepare(gpu, size)
     args = compiled.abi(kernel).marshal(gpu, host_args)
-    profile = gpu.launch(kernel, args, num_teams, threads_per_team, sim_jobs=sim_jobs)
+    profile = gpu.launch(kernel, args, num_teams, threads_per_team,
+                         sim_jobs=sim_jobs, watchdog_s=watchdog_s)
     max_error = verify(gpu, host_args)
     return AppRunResult(
         app=app_name,

@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench simperf [--repeats N] [--quick] [--json] [--out PATH]
     python -m repro.bench trace   [--app APP] [--build BUILD] [--out PATH]
                                   [--metrics-out PATH] [--smoke]
+    python -m repro.bench faults  [--smoke] [--json]
     python -m repro.bench json     (machine-readable full report)
     python -m repro.bench all      [--jobs N]
 
@@ -23,6 +24,11 @@ to stdout instead of the table, ``--quick`` runs a single-cell smoke.
 collector enabled and writes a Perfetto-viewable Chrome Trace Format
 JSON plus a flat metrics JSON (see README "Observability");
 ``--smoke`` runs the fixed fast cell the verification target uses.
+
+``faults`` runs the fault-injection / sanitizer robustness matrix
+(testsnap at ``-O0`` across both engines and ``sim_jobs=2``; see
+README "Robustness") and exits non-zero on any determinism or
+degradation failure; ``--smoke`` keeps the three cheapest scenarios.
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent (app, build) cells of each figure out over N worker
@@ -42,7 +48,7 @@ from repro.bench.harness import APPS
 
 COMMANDS = (
     "fig10", "fig11", "fig12", "fig13", "oversub", "timings", "simperf",
-    "trace", "json", "all",
+    "trace", "faults", "json", "all",
 )
 
 
@@ -94,7 +100,8 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="trace: run the fixed fast (app, build) smoke cell",
+        help="trace: run the fixed fast (app, build) smoke cell; "
+             "faults: run the reduced scenario set",
     )
     return parser
 
@@ -161,6 +168,16 @@ def main(argv) -> int:
             sim_jobs=args.sim_jobs,
         )
         print(trace_cli.format_trace_result(result))
+    if what == "faults":
+        from repro.bench import faults_cli
+
+        report = faults_cli.run_faults(smoke=args.smoke)
+        if args.as_json:
+            print(faults_cli.render_json(report))
+        else:
+            print(faults_cli.format_faults(report))
+        if not report["ok"]:
+            return 1
     if what == "json":
         from repro.bench.report import render_json
 

@@ -1,0 +1,205 @@
+"""``python -m repro.bench faults`` — the fault-injection matrix.
+
+Runs a fixed scenario matrix (testsnap under the ``-O0`` pipeline,
+where every runtime call is still outlined and therefore hookable)
+through :func:`repro.faults.run_guarded`:
+
+* a clean baseline and a ``sanitize=True`` run that must produce a
+  **bit-identical** profile (the sanitizer charges no cycles);
+* ``shared_stack_exhaust`` — completes, but every ``alloc_shared``
+  takes the §III-D global-malloc fallback (visible as
+  ``global_fallback.mallocs`` in the profile);
+* crashing plans (``malloc_fail``, ``rt_trap``, ``barrier_skip`` under
+  the sanitizer) that must produce structured
+  :class:`~repro.faults.report.CrashReport` artifacts.
+
+Every scenario runs on both engines and once more with ``sim_jobs=2``;
+the matrix PASSes only if profiles are bit-identical and crash
+reports compare equal (``comparable_dict``) across all three runs —
+the executable form of the determinism acceptance criterion.
+
+``--smoke`` keeps the three cheapest scenarios (baseline, exhaust,
+rt_trap) for ``make verify``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.apps import testsnap
+from repro.faults import run_guarded
+from repro.frontend.driver import CompileOptions, Target, compile_program
+from repro.passes.pass_manager import PipelineConfig
+from repro.vgpu import GPUConfig, VirtualGPU
+from repro.vgpu.config import ENGINE_DECODED, ENGINE_LEGACY
+
+#: Fixed cell: small testsnap grid, -O0 so runtime calls stay outlined.
+TEAMS = 4
+THREADS = 32
+SIZE = {"n_atoms": TEAMS * THREADS, "n_neighbors": 4}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One row of the injection matrix."""
+
+    name: str
+    faults: Optional[str]  # REPRO_FAULTS-grammar spec, or None
+    sanitize: bool = False
+    #: "ok" or the expected error_type of the CrashReport.
+    expect: str = "ok"
+    #: Required minimum of profile.device_mallocs (fallback evidence).
+    min_mallocs: int = 0
+
+
+SCENARIOS = (
+    Scenario("baseline", None),
+    Scenario("sanitize", None, sanitize=True),
+    Scenario("stack-exhaust", "shared_stack_exhaust", min_mallocs=1),
+    Scenario("exhaust-malloc-fail", "shared_stack_exhaust;malloc_fail:n=2",
+             expect="InjectedFault"),
+    Scenario("rt-trap", "rt_trap:n=5;seed=11", expect="InjectedFault"),
+    Scenario("barrier-skip", "barrier_skip:n=1;seed=3", sanitize=True,
+             expect="BarrierDivergence"),
+)
+
+SMOKE_NAMES = ("baseline", "stack-exhaust", "rt-trap")
+
+
+def _compile():
+    options = CompileOptions(Target.OPENMP_NEW, pipeline=PipelineConfig.o0())
+    return compile_program(testsnap.build_program(SIZE), options)
+
+
+def _run_cell(compiled, scenario: Scenario, engine: str,
+              sim_jobs: Optional[int] = None) -> Dict[str, Any]:
+    """One guarded launch; returns the comparable facts of the outcome."""
+
+    def make_gpu(eng):
+        return VirtualGPU(compiled.module, config=GPUConfig(), engine=eng,
+                          sanitize=scenario.sanitize, faults=scenario.faults)
+
+    def make_args(gpu):
+        host_args, _ = testsnap.prepare(gpu, SIZE)
+        return compiled.abi(testsnap.KERNEL).marshal(gpu, host_args)
+
+    outcome = run_guarded(
+        make_gpu, make_args, testsnap.KERNEL, TEAMS, THREADS,
+        engine=engine, sim_jobs=sim_jobs, save_report=scenario.expect != "ok",
+    )
+    cell: Dict[str, Any] = {
+        "ok": outcome.ok,
+        "engine": outcome.engine,
+        "retried": outcome.retried,
+    }
+    if outcome.ok:
+        cell["profile"] = outcome.profile.to_dict()
+        cell["device_mallocs"] = outcome.profile.device_mallocs
+        cell["cycles"] = outcome.profile.cycles
+    if outcome.report is not None:
+        cell["error_type"] = outcome.report.error_type
+        cell["report"] = outcome.report.comparable_dict()
+        cell["report_path"] = outcome.report_path
+    return cell
+
+
+def _judge(scenario: Scenario, cells: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Problems with one scenario's row (empty list = PASS)."""
+    problems: List[str] = []
+    ref = cells[ENGINE_DECODED]
+    if scenario.expect == "ok":
+        for label, cell in cells.items():
+            if not cell["ok"]:
+                problems.append(f"{label}: unexpected "
+                                f"{cell.get('error_type', 'failure')}")
+        if not problems:
+            if ref["device_mallocs"] < scenario.min_mallocs:
+                problems.append(
+                    f"expected >= {scenario.min_mallocs} global-fallback "
+                    f"mallocs, saw {ref['device_mallocs']}")
+            for label, cell in cells.items():
+                if cell["profile"] != ref["profile"]:
+                    problems.append(f"{label}: profile differs from decoded")
+    else:
+        for label, cell in cells.items():
+            if cell["ok"]:
+                problems.append(f"{label}: expected {scenario.expect}, ran clean")
+            elif cell["error_type"] != scenario.expect:
+                problems.append(f"{label}: expected {scenario.expect}, got "
+                                f"{cell['error_type']}")
+        if not problems:
+            for label, cell in cells.items():
+                if cell["report"] != ref["report"]:
+                    problems.append(f"{label}: crash report differs from decoded")
+    return problems
+
+
+def run_faults(smoke: bool = False) -> Dict[str, Any]:
+    """Run the matrix; returns the machine-readable report."""
+    compiled = _compile()
+    scenarios = [s for s in SCENARIOS if not smoke or s.name in SMOKE_NAMES]
+    rows = []
+    for scenario in scenarios:
+        cells = {
+            ENGINE_DECODED: _run_cell(compiled, scenario, ENGINE_DECODED),
+            ENGINE_LEGACY: _run_cell(compiled, scenario, ENGINE_LEGACY),
+            "sim_jobs=2": _run_cell(compiled, scenario, ENGINE_DECODED,
+                                    sim_jobs=2),
+        }
+        rows.append({
+            "scenario": scenario.name,
+            "faults": scenario.faults,
+            "sanitize": scenario.sanitize,
+            "expect": scenario.expect,
+            "cells": cells,
+            "problems": _judge(scenario, cells),
+        })
+    # The sanitize-clean run must be cycle-identical to the baseline.
+    by_name = {r["scenario"]: r for r in rows}
+    if "baseline" in by_name and "sanitize" in by_name:
+        base = by_name["baseline"]["cells"][ENGINE_DECODED]
+        san = by_name["sanitize"]["cells"][ENGINE_DECODED]
+        if base.get("profile") != san.get("profile"):
+            by_name["sanitize"]["problems"].append(
+                "sanitized profile differs from baseline (overhead leak)")
+    return {
+        "cell": {"app": "testsnap", "pipeline": "O0",
+                 "teams": TEAMS, "threads": THREADS},
+        "scenarios": rows,
+        "ok": all(not r["problems"] for r in rows),
+    }
+
+
+def format_faults(report: Dict[str, Any]) -> str:
+    lines = [
+        f"fault-injection matrix: testsnap -O0, "
+        f"{report['cell']['teams']}x{report['cell']['threads']} "
+        f"(decoded / legacy / sim_jobs=2)",
+    ]
+    for row in report["scenarios"]:
+        cells = row["cells"]
+        ref = cells["decoded"]
+        if ref["ok"]:
+            what = (f"ok, {ref['cycles']} cycles, "
+                    f"{ref['device_mallocs']} fallback mallocs")
+        else:
+            what = ref.get("error_type", "failed")
+        status = "PASS" if not row["problems"] else "FAIL"
+        spec = row["faults"] or "-"
+        san = " +sanitize" if row["sanitize"] else ""
+        lines.append(f"  [{status}] {row['scenario']:<20} "
+                     f"{spec}{san}: {what}")
+        for problem in row["problems"]:
+            lines.append(f"         !! {problem}")
+        for label, cell in cells.items():
+            path = cell.get("report_path")
+            if label == "decoded" and path:
+                lines.append(f"         report -> {path}")
+    lines.append("matrix OK" if report["ok"] else "matrix FAILED")
+    return "\n".join(lines)
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -29,6 +29,17 @@ Knobs
 ``REPRO_TRACE``
     Set truthy to enable the :mod:`repro.trace` event collector for
     the whole process (off by default; see README "Observability").
+``REPRO_FAULTS``
+    Fault-injection plan for the simulator (default empty = no
+    injection).  Grammar: ``site(:key=value)*`` entries joined by
+    ``;`` plus an optional bare ``seed=N`` entry; see README
+    "Robustness" and :mod:`repro.faults.plan`.
+``REPRO_SANITIZE``
+    Set truthy to run the vgpu memory/divergence sanitizer
+    (``VirtualGPU(sanitize=True)``); off by default.
+``REPRO_WATCHDOG_S``
+    Wall-clock watchdog (seconds, float) for parallel team simulation;
+    ``0`` (the default) disables it.
 """
 
 from __future__ import annotations
@@ -46,7 +57,7 @@ class EnvKnob:
     """One documented environment variable."""
 
     name: str
-    kind: str  # "flag" | "int" | "str" | "choice"
+    kind: str  # "flag" | "int" | "float" | "str" | "choice"
     default: str
     help: str
     choices: Tuple[str, ...] = ()
@@ -73,6 +84,12 @@ KNOBS: Dict[str, EnvKnob] = {
                 "in-memory compile-cache LRU capacity"),
         EnvKnob("REPRO_TRACE", "flag", "0",
                 "enable the repro.trace event collector"),
+        EnvKnob("REPRO_FAULTS", "str", "",
+                "fault-injection plan (site:key=value;... grammar)"),
+        EnvKnob("REPRO_SANITIZE", "flag", "0",
+                "enable the vgpu memory/divergence sanitizer"),
+        EnvKnob("REPRO_WATCHDOG_S", "float", "0",
+                "wall-clock watchdog for parallel team simulation (s)"),
     )
 }
 
@@ -101,6 +118,18 @@ def env_int(name: str, default: Optional[int] = None) -> int:
         return fallback
     try:
         return int(raw)
+    except ValueError:
+        return fallback
+
+
+def env_float(name: str, default: Optional[float] = None) -> float:
+    """Float knob; malformed values fall back to the default."""
+    raw = _raw(name)
+    fallback = default if default is not None else float(KNOBS[name].default)
+    if raw is None:
+        return fallback
+    try:
+        return float(raw)
     except ValueError:
         return fallback
 
@@ -146,6 +175,20 @@ def cache_size() -> int:
 
 def trace_enabled() -> bool:
     return env_flag("REPRO_TRACE")
+
+
+def faults_spec() -> str:
+    """Raw ``REPRO_FAULTS`` plan text ('' = no injection)."""
+    return env_str("REPRO_FAULTS")
+
+
+def sanitize_enabled() -> bool:
+    return env_flag("REPRO_SANITIZE")
+
+
+def watchdog_s() -> float:
+    """Parallel-simulation watchdog in seconds (0 = disabled)."""
+    return max(0.0, env_float("REPRO_WATCHDOG_S"))
 
 
 def describe_env() -> str:

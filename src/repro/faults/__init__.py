@@ -1,0 +1,31 @@
+"""Device-side fault injection, crash reporting and graceful degradation.
+
+Three cooperating pieces (ROADMAP "robustness" item; the co-design
+angle is that fault *sites* are defined by the runtime/simulator
+contract, not bolted on):
+
+:mod:`repro.faults.plan`
+    :class:`FaultPlan` — the parsed ``REPRO_FAULTS`` spec — and the
+    per-team counters both execution engines consult.
+:mod:`repro.faults.report`
+    :class:`CrashReport` — a deterministic, JSON-serializable record of
+    a device failure (error type/message, device context, fault plan,
+    trace tail).
+:mod:`repro.faults.harness`
+    :func:`run_guarded` — launch with automatic decoded→legacy retry on
+    internal engine faults and structured reports for program faults.
+"""
+
+from repro.faults.plan import FaultPlan, FaultPlanError, FaultSite, TeamFaultState
+from repro.faults.report import CrashReport
+from repro.faults.harness import GuardedOutcome, run_guarded
+
+__all__ = [
+    "CrashReport",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSite",
+    "GuardedOutcome",
+    "TeamFaultState",
+    "run_guarded",
+]

@@ -1,0 +1,137 @@
+"""Graceful-degradation launch harness.
+
+:func:`run_guarded` wraps a kernel launch with the two degradation
+behaviours the robustness work promises:
+
+* **Program faults** — :class:`~repro.vgpu.errors.SimulationError`
+  (traps, sanitizer diagnostics, injected faults, the watchdog) and
+  :class:`~repro.memory.memmodel.MemoryError_` — are converted into a
+  saved :class:`~repro.faults.report.CrashReport` instead of a bare
+  traceback.  They are *deterministic properties of the program*, so
+  there is nothing to retry.
+* **Internal engine faults** — any other exception escaping the
+  decoded engine — trigger one automatic retry on the legacy
+  tree-walker (the reference implementation), on a **fresh** device so
+  no partially-mutated state leaks across.  The internal fault is
+  still recorded in the outcome's report; silent recovery would hide
+  engine bugs.
+
+Because retry needs a clean device, the caller passes *factories*
+(``make_gpu(engine)`` / ``make_args(gpu)``), not live objects: kernel
+arguments usually embed device pointers, so they must be rebuilt
+against the retry device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.faults.report import CrashReport
+from repro.memory.memmodel import MemoryError_
+from repro.vgpu.config import ENGINE_LEGACY, resolve_sim_engine
+from repro.vgpu.errors import SimulationError
+
+#: Exception classes that are failures *of the simulated program* (or
+#: of an injected fault plan), as opposed to failures of the simulator.
+PROGRAM_FAULTS = (SimulationError, MemoryError_)
+
+
+@dataclass
+class GuardedOutcome:
+    """Result of one :func:`run_guarded` launch."""
+
+    #: True when a profile was produced (possibly after a retry).
+    ok: bool
+    #: The :class:`~repro.vgpu.profiler.KernelProfile` on success.
+    profile: Optional[object] = None
+    #: CrashReport for the program fault, or — on a successful retry —
+    #: for the internal engine fault that forced the retry.
+    report: Optional[CrashReport] = None
+    #: Where the report was saved (None when saving is disabled).
+    report_path: Optional[str] = None
+    #: Engine that produced the final result (or raised the final error).
+    engine: str = ""
+    #: True when the decoded engine failed internally and the legacy
+    #: engine supplied the result.
+    retried: bool = False
+
+
+def _launch(gpu, kernel, args, num_teams, threads_per_team,
+            sim_jobs, watchdog_s):
+    return gpu.launch(kernel, args, num_teams, threads_per_team,
+                      sim_jobs=sim_jobs, watchdog_s=watchdog_s)
+
+
+def run_guarded(
+    make_gpu: Callable[[str], object],
+    make_args: Callable[[object], Sequence],
+    kernel: str,
+    num_teams: int,
+    threads_per_team: int,
+    *,
+    engine: Optional[str] = None,
+    sim_jobs: Optional[int] = None,
+    watchdog_s: Optional[float] = None,
+    save_report: bool = True,
+    report_dir: Optional[str] = None,
+) -> GuardedOutcome:
+    """Launch *kernel* with crash reporting and engine fallback.
+
+    ``make_gpu(engine)`` must return a fresh device configured for
+    *engine*; ``make_args(gpu)`` prepares the kernel arguments on that
+    device.  *kernel* is the kernel name (or a Function of the module
+    every ``make_gpu`` result loads).
+    """
+    engine = resolve_sim_engine(engine)
+    gpu = make_gpu(engine)
+    args = make_args(gpu)
+    try:
+        profile = _launch(gpu, kernel, args, num_teams, threads_per_team,
+                          sim_jobs, watchdog_s)
+        return GuardedOutcome(ok=True, profile=profile, engine=engine)
+    except PROGRAM_FAULTS as exc:
+        report = _report(exc, gpu, kernel, engine)
+        path = report.save(report_dir) if save_report else None
+        return GuardedOutcome(ok=False, report=report, report_path=path,
+                              engine=engine)
+    except Exception as exc:  # internal engine fault
+        if engine == ENGINE_LEGACY:
+            raise  # the reference engine failed: nothing to fall back to
+        report = _report(exc, gpu, kernel, engine)
+        report.retry = {
+            "from_engine": engine,
+            "to_engine": ENGINE_LEGACY,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+
+    # Decoded engine failed internally: retry once on a fresh legacy
+    # device.  A program fault here is reported like any other (the
+    # retry record stays attached); a second internal fault propagates.
+    gpu = make_gpu(ENGINE_LEGACY)
+    args = make_args(gpu)
+    try:
+        profile = _launch(gpu, kernel, args, num_teams, threads_per_team,
+                          sim_jobs, watchdog_s)
+        path = report.save(report_dir) if save_report else None
+        return GuardedOutcome(ok=True, profile=profile, report=report,
+                              report_path=path, engine=ENGINE_LEGACY,
+                              retried=True)
+    except PROGRAM_FAULTS as exc:
+        report2 = _report(exc, gpu, kernel, ENGINE_LEGACY)
+        report2.retry = report.retry
+        path = report2.save(report_dir) if save_report else None
+        return GuardedOutcome(ok=False, report=report2, report_path=path,
+                              engine=ENGINE_LEGACY, retried=True)
+
+
+def _report(exc: BaseException, gpu, kernel, engine: str) -> CrashReport:
+    name = kernel if isinstance(kernel, str) else getattr(kernel, "name", None)
+    return CrashReport.from_exception(
+        exc,
+        kernel=name,
+        engine=engine,
+        fault_plan=getattr(gpu, "fault_plan", None),
+        trace=getattr(gpu, "_trace", None),
+    )

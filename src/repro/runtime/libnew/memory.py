@@ -11,9 +11,38 @@ shared-memory footprint (Fig. 11).
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.ir.types import I32, I64, PTR, PTR_GLOBAL, VOID
+from repro.memory.layout import DATA_LAYOUT
 from repro.runtime.common import RuntimeBuilder
 from repro.runtime.libnew.globals import NewRTGlobals
+from repro.runtime.state import GV_SMEM_STACK, GV_SMEM_STACK_TOPS
+
+
+def shared_stack_saturation(module) -> Optional[Tuple[str, int, int, int]]:
+    """Describe how to pin *module*'s shared stack at "full".
+
+    Returns ``(global_name, byte_offset, per_thread_stride, value)``:
+    storing the i32 *value* at ``&global + byte_offset + per_thread_stride
+    * thread_id`` makes every subsequent ``__kmpc_alloc_shared`` by that
+    thread take the global-malloc fallback (``top + size <= slice_size``
+    is already false for ``top == slice_size`` and any positive size,
+    and nothing larger can be written without overflowing the i32 sum).
+    Returns ``None`` when the module has no shared stack — pruned by the
+    optimizer or built with ``globalization_via_malloc``.
+
+    This is the runtime-owned face of the ``shared_stack_exhaust``
+    fault site: the layout facts live next to the IR that defines them,
+    so :mod:`repro.faults` never hardcodes the stack geometry.
+    """
+    tops = module.globals.get(GV_SMEM_STACK_TOPS)
+    stack = module.globals.get(GV_SMEM_STACK)
+    if tops is None or stack is None:
+        return None
+    slots = DATA_LAYOUT.size_of(tops.value_type) // 4  # i32 per thread slot
+    slice_size = DATA_LAYOUT.size_of(stack.value_type) // slots
+    return (GV_SMEM_STACK_TOPS, 0, 4, slice_size)
 
 
 def build_alloc_shared(rb: RuntimeBuilder, gvs: NewRTGlobals) -> None:

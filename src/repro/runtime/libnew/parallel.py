@@ -13,6 +13,19 @@ Three execution paths (paper §III-B/C and Fig. 3/4):
 * *generic top-level*: only the main thread executes here; it
   publishes the outlined function to the state machine, wakes the
   workers, participates itself, and joins.
+
+Fault surface (see :mod:`repro.faults`): a ``rt_trap`` site fires at
+the categorized ``__kmpc_parallel_51`` call itself, before any of the
+three paths run; a ``barrier_skip`` site aimed at the SPMD publishing
+barriers leaves teammates reading unpublished parallel state, and
+aimed at the generic wake/join barriers it detaches the main thread
+from its workers — both surface as
+:class:`~repro.vgpu.errors.BarrierDivergence` under
+``VirtualGPU(sanitize=True)`` (the missing-arrival detector for a
+thread that runs ahead to completion, the different-aligned-barrier
+detector when it re-converges one barrier late).  The checks stay in
+the simulator's phase driver on purpose: adding IR-level asserts here
+would change the instruction counts the overhead figures pin.
 """
 
 from __future__ import annotations

@@ -46,6 +46,20 @@ OFF_STACK_TOP = 32
 OFF_WARP_RECORDS = 40
 WARP_RECORD_SIZE = 8
 
+
+def shared_stack_saturation(module):
+    """Old-runtime counterpart of
+    :func:`repro.runtime.libnew.memory.shared_stack_saturation`: the
+    data stack is team-wide (stride 0), its top lives at a fixed byte
+    offset inside the team-context blob, and pinning it to
+    ``OLD_DATA_STACK_SIZE`` sends every ``__kmpc_alloc_shared_old``
+    down the global-malloc fallback."""
+    ctx = module.globals.get(GV_OLD_TEAM_CONTEXT)
+    stack = module.globals.get(GV_OLD_DATA_STACK)
+    if ctx is None or stack is None:
+        return None
+    return (GV_OLD_TEAM_CONTEXT, OFF_STACK_TOP, 0, OLD_DATA_STACK_SIZE)
+
 #: Function names the old runtime provides.
 OLD_RUNTIME_API = (
     "__kmpc_target_init_old",

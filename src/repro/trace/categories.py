@@ -35,6 +35,15 @@ OVERHEAD_CATEGORIES: Dict[str, str] = {
 #: The category vocabulary, for schema checks and docs.
 CATEGORY_NAMES = tuple(sorted(set(OVERHEAD_CATEGORIES.values())))
 
+#: Chrome-trace ``cat`` for fault-injection instants (``fault.*`` names
+#: emitted by :class:`repro.faults.plan.TeamFaultState` and the
+#: ``crash.*`` instants the launch wrapper emits for injected faults).
+FAULT_EVENT_CATEGORY = "fault"
+
+#: Chrome-trace ``cat`` for sanitizer diagnostics (``crash.*`` instants
+#: whose exception is a :class:`~repro.vgpu.errors.SanitizerError`).
+SANITIZER_EVENT_CATEGORY = "sanitizer"
+
 _lookup = OVERHEAD_CATEGORIES.get
 
 

@@ -7,8 +7,11 @@ from repro.vgpu.config import (  # noqa: F401
     ENGINES,
     GPUConfig,
     LaunchConfig,
+    resolve_fault_plan,
+    resolve_sanitize,
     resolve_sim_engine,
     resolve_sim_jobs,
+    resolve_watchdog,
 )
 from repro.vgpu.cost import CostModel  # noqa: F401
 from repro.vgpu.decode import (  # noqa: F401
@@ -18,11 +21,21 @@ from repro.vgpu.decode import (  # noqa: F401
 )
 from repro.vgpu.errors import (  # noqa: F401
     AssumptionViolation,
+    BarrierDivergence,
+    CallStackOverflow,
+    DeviceErrorContext,
     DivergenceError,
+    InjectedFault,
+    OutOfBoundsAccess,
+    SanitizerError,
     SimulationError,
     StepLimitExceeded,
     TrapError,
+    UninitializedRead,
+    UseAfterFree,
+    WatchdogExpired,
 )
+from repro.vgpu.sanitizer import SanitizedMemorySystem  # noqa: F401
 from repro.vgpu.execstate import Frame, ThreadContext, ThreadStatus  # noqa: F401
 from repro.vgpu.interpreter import VirtualGPU  # noqa: F401
 from repro.vgpu.profiler import KernelProfile, NOMINAL_CLOCK_GHZ, TeamStats  # noqa: F401

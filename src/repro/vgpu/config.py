@@ -46,6 +46,34 @@ def resolve_sim_jobs(sim_jobs: Optional[int] = None, teams: Optional[int] = None
     return sim_jobs
 
 
+def resolve_sanitize(sanitize: Optional[bool] = None) -> bool:
+    """Effective sanitizer mode: explicit *sanitize*, else ``REPRO_SANITIZE``."""
+    if sanitize is None:
+        return envconfig.sanitize_enabled()
+    return bool(sanitize)
+
+
+def resolve_fault_plan(faults=None):
+    """Effective fault plan: an explicit :class:`~repro.faults.plan.
+    FaultPlan`, a spec string to parse, or None -> ``REPRO_FAULTS``.
+    Returns None when no injection is configured."""
+    from repro.faults.plan import FaultPlan
+
+    if faults is None:
+        return FaultPlan.parse(envconfig.faults_spec())
+    if isinstance(faults, str):
+        return FaultPlan.parse(faults)
+    return faults
+
+
+def resolve_watchdog(watchdog_s: Optional[float] = None) -> float:
+    """Effective parallel-simulation watchdog in seconds: explicit
+    *watchdog_s*, else ``REPRO_WATCHDOG_S``; 0 disables it."""
+    if watchdog_s is None:
+        return envconfig.watchdog_s()
+    return max(0.0, float(watchdog_s))
+
+
 @dataclass(frozen=True)
 class GPUConfig:
     """Hardware model parameters for the virtual GPU."""

@@ -42,11 +42,12 @@ differential tests enforce this.
 from __future__ import annotations
 
 import struct
+from bisect import bisect_right
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.memory.addrspace import OFFSET_MASK, AddressSpace
 from repro.memory.layout import DATA_LAYOUT
-from repro.memory.memmodel import DEVICE_LOCK, scalar_size
+from repro.memory.memmodel import DEVICE_LOCK, MemoryError_, scalar_size
 from repro.ir.instructions import (
     Alloca,
     AtomicRMW,
@@ -72,10 +73,15 @@ from repro.ir.types import FloatType, IntType, I64
 from repro.ir.values import Constant, GlobalVariable, UndefValue
 from repro.vgpu.cost import CostModel
 from repro.vgpu.errors import (
-    AssumptionViolation,
     SimulationError,
-    StepLimitExceeded,
-    TrapError,
+    assumption_error,
+    attach_context,
+    call_stack_overflow_error,
+    division_by_zero_error,
+    step_limit_error,
+    trap_error,
+    undefined_value_error,
+    unreachable_error,
 )
 from repro.vgpu.execstate import (
     MATH_BINARY,
@@ -124,6 +130,7 @@ class DecodedFunction:
         "static_init",
         "global_fixups",
         "func_fixups",
+        "block_starts",
     )
 
     def __init__(self, function: Function) -> None:
@@ -133,6 +140,9 @@ class DecodedFunction:
         self.num_slots = 0
         self.arg_slots: Tuple[int, ...] = ()
         self.arg_coerce: Tuple[Callable, ...] = ()
+        #: Parallel ``(pcs, names)`` tuples mapping an op pc back to the
+        #: basic block it was decoded from (crash-context recovery).
+        self.block_starts: Tuple[Tuple[int, ...], Tuple[str, ...]] = ((), ())
         #: ``(slot, value)`` pairs for constants/undefs.
         self.static_init: List[Tuple[int, object]] = []
         #: ``(slot, GlobalVariable)`` resolved at bind time.
@@ -174,6 +184,22 @@ class DecodedFrame:
 # the run loop counts, ``op[2]`` is the next pc (or branch target).
 # The remaining layout is documented per handler.
 # ===================================================================
+
+
+def _block_name(vm, frame) -> Optional[str]:
+    """Name of the basic block containing *frame*'s current pc.
+
+    The decoded engine flattens blocks away; this reverses the mapping
+    via the per-function ``block_starts`` table (every block emits at
+    least its terminator, so start pcs are strictly increasing)."""
+    bound = vm._bound_cache.get(frame.function)
+    if bound is None:
+        return None
+    pcs, names = bound.code.block_starts
+    if not pcs:
+        return None
+    i = bisect_right(pcs, frame.pc) - 1
+    return names[i] if i >= 0 else None
 
 
 def _segment(vm, thread, tag):
@@ -280,7 +306,7 @@ def _h_sdiv(vm, thread, frame, op):
     to_signed = op[6]
     sa, sb = to_signed(regs[op[4]]), to_signed(regs[op[5]])
     if sb == 0:
-        raise TrapError("integer division by zero")
+        raise division_by_zero_error()
     regs[op[3]] = op[7](int(sa / sb))
     frame.pc = op[2]
     return op[8]
@@ -291,7 +317,7 @@ def _h_srem(vm, thread, frame, op):
     to_signed = op[6]
     sa, sb = to_signed(regs[op[4]]), to_signed(regs[op[5]])
     if sb == 0:
-        raise TrapError("integer division by zero")
+        raise division_by_zero_error()
     regs[op[3]] = op[7](sa - int(sa / sb) * sb)
     frame.pc = op[2]
     return op[8]
@@ -301,7 +327,7 @@ def _h_udiv(vm, thread, frame, op):
     regs = frame.regs
     b = regs[op[5]]
     if b == 0:
-        raise TrapError("integer division by zero")
+        raise division_by_zero_error()
     regs[op[3]] = regs[op[4]] // b
     frame.pc = op[2]
     return op[6]
@@ -311,7 +337,7 @@ def _h_urem(vm, thread, frame, op):
     regs = frame.regs
     b = regs[op[5]]
     if b == 0:
-        raise TrapError("integer division by zero")
+        raise division_by_zero_error()
     regs[op[3]] = regs[op[4]] % b
     frame.pc = op[2]
     return op[6]
@@ -639,6 +665,22 @@ def _h_load_f(vm, thread, frame, op):
     return c
 
 
+def _h_load_slow(vm, thread, frame, op):
+    """Sanitize-mode load (same op layout as the fast handlers): every
+    access routes through ``MemorySystem.load`` so the shadow-memory
+    checks see it; stats and cycle accounting are bit-identical."""
+    regs = frame.regs
+    ptr = regs[op[4]]
+    tag = ptr >> 48
+    regs[op[3]] = vm.memory.load(ptr, op[6], thread.team_id, thread.thread_id)
+    thread.stats.loads_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:
+        c = vm.cost.load_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
 # -- store: (h, "store", next, ptr, val, size, ty, costs, extra);
 #    extra is ty.wrap for ints, Struct.pack_into for floats, absent
 #    for pointers --
@@ -693,6 +735,20 @@ def _h_store_f(vm, thread, frame, op):
         vm.memory.store(ptr, regs[op[4]], op[6], thread.team_id, thread.thread_id)
     else:
         op[8](seg.data, off, float(regs[op[4]]))
+    thread.stats.stores_by_space[_SPACE_BY_TAG[tag]] += 1
+    frame.pc = op[2]
+    c = op[7][tag]
+    if c is None:
+        c = vm.cost.store_cost(_SPACE_BY_TAG[tag])
+    return c
+
+
+def _h_store_slow(vm, thread, frame, op):
+    """Sanitize-mode store twin of :func:`_h_load_slow`."""
+    regs = frame.regs
+    ptr = regs[op[3]]
+    tag = ptr >> 48
+    vm.memory.store(ptr, regs[op[4]], op[6], thread.team_id, thread.thread_id)
     thread.stats.stores_by_space[_SPACE_BY_TAG[tag]] += 1
     frame.pc = op[2]
     c = op[7][tag]
@@ -778,10 +834,7 @@ def _h_ret(vm, thread, frame, op):
 
 
 def _h_unreachable(vm, thread, frame, op):
-    raise TrapError(
-        f"unreachable executed in @{frame.function.name} "
-        f"(team {thread.team_id}, thread {thread.thread_id})"
-    )
+    raise unreachable_error(frame.function.name, thread)
 
 
 # -- calls --
@@ -800,10 +853,7 @@ def _push_call(vm, thread, frame, next_pc, dest, callee, arg_slots):
     frames = thread.frames
     frames.append(DecodedFrame(code.ops, nregs, code.entry_pc, dest, callee))
     if len(frames) > 512:
-        raise SimulationError(
-            f"call stack overflow in @{callee.name} "
-            f"(team {thread.team_id}, thread {thread.thread_id})"
-        )
+        raise call_stack_overflow_error(callee.name, thread)
 
 
 def _h_call(vm, thread, frame, op):
@@ -817,6 +867,9 @@ def _h_call_rt(vm, thread, frame, op):
     # (h, "call", next, dest, callee, arg_slots, cost, category).
     # Chosen at decode time so uncategorized calls pay no lookup.
     thread.stats.runtime_calls[op[7]] += 1
+    fs = thread.faults
+    if fs is not None:
+        fs.on_runtime_call(vm, thread, frame, op[4].name)
     _push_call(vm, thread, frame, op[2], op[3], op[4], op[5])
     return op[6]
 
@@ -857,6 +910,9 @@ def _h_icall(vm, thread, frame, op):
     category = OVERHEAD_CATEGORIES.get(callee.name)
     if category is not None:
         thread.stats.runtime_calls[category] += 1
+        fs = thread.faults
+        if fs is not None:
+            fs.on_runtime_call(vm, thread, frame, callee.name)
     _push_call(vm, thread, frame, op[2], op[3], callee, op[5])
     return vm.cost.config.call_cost
 
@@ -866,6 +922,12 @@ def _h_icall(vm, thread, frame, op):
 
 def _h_barrier(vm, thread, frame, op):
     # (h, "call", next, inst, cost)
+    fs = thread.faults
+    if fs is not None and fs.skip_barrier(vm, thread):
+        # Injected divergence: fall through the barrier and keep
+        # running while the rest of the team waits.
+        frame.pc = op[2]
+        return op[4]
     thread.status = _AT_BARRIER
     thread.barrier_call = op[3]
     frame.pc = op[2]
@@ -914,10 +976,7 @@ def _h_lane_id(vm, thread, frame, op):
 def _h_assume(vm, thread, frame, op):
     # (h, "call", next, arg_slot, cost)
     if vm.debug_checks and not frame.regs[op[3]]:
-        raise AssumptionViolation(
-            f"assumption violated in @{frame.function.name} "
-            f"(team {thread.team_id}, thread {thread.thread_id})"
-        )
+        raise assumption_error(frame.function.name, thread)
     frame.pc = op[2]
     return op[4]
 
@@ -963,6 +1022,11 @@ def _run_intrinsic(vm, thread, frame, name, info, argv, dest, coerce, inst, next
     here; they have specialized handlers)."""
     cycles = info.cost
     if info.is_barrier:
+        fs = thread.faults
+        if fs is not None and fs.skip_barrier(vm, thread):
+            # Injected divergence: fall through the barrier.
+            frame.pc = next_pc
+            return cycles
         thread.status = _AT_BARRIER
         thread.barrier_call = inst
         frame.pc = next_pc
@@ -992,18 +1056,12 @@ def _run_intrinsic(vm, thread, frame, name, info, argv, dest, coerce, inst, next
         result = base
     elif name == "llvm.assume":
         if vm.debug_checks and not argv[0]:
-            raise AssumptionViolation(
-                f"assumption violated in @{frame.function.name} "
-                f"(team {thread.team_id}, thread {thread.thread_id})"
-            )
+            raise assumption_error(frame.function.name, thread)
     elif name == "llvm.expect":
         result = argv[0]
     elif name == "llvm.trap":
         msg = stats.output[-1] if stats.output else "llvm.trap"
-        raise TrapError(
-            f"trap in @{frame.function.name} "
-            f"(team {thread.team_id}, thread {thread.thread_id}): {msg}"
-        )
+        raise trap_error(frame.function.name, thread, msg)
     elif name == "rt.print_i64":
         stats.output.append(str(_I64_TO_SIGNED(int(argv[0]))))
     elif name == "rt.print_f64":
@@ -1012,6 +1070,9 @@ def _run_intrinsic(vm, thread, frame, name, info, argv, dest, coerce, inst, next
         addr = int(argv[0])
         stats.output.append(vm._string_table.get(addr, f"<str {addr:#x}>"))
     elif name == "malloc":
+        fs = thread.faults
+        if fs is not None:
+            fs.on_device_malloc(vm, thread, frame.function.name)
         stats.device_mallocs += 1
         result = vm.memory.malloc(int(argv[0]))
     elif name == "free":
@@ -1090,8 +1151,15 @@ def _cost_by_tag(cost_table) -> Tuple[Optional[int], ...]:
     )
 
 
-def decode_function(func: Function, cost: CostModel, warp_size: int) -> DecodedFunction:
-    """One-time static decode of *func* (device-independent)."""
+def decode_function(
+    func: Function, cost: CostModel, warp_size: int, sanitize: bool = False
+) -> DecodedFunction:
+    """One-time static decode of *func* (device-independent).
+
+    With *sanitize*, loads and stores are decoded to the ``_slow``
+    handlers that route every access through the (shadow-checked)
+    memory system — handler selection at decode time is what keeps the
+    sanitize-off fast path entirely free of mode checks."""
 
     cfg = cost.config
     code = DecodedFunction(func)
@@ -1130,6 +1198,10 @@ def decode_function(func: Function, cost: CostModel, warp_size: int) -> DecodedF
     for block in func.blocks:
         start_pc[block] = n
         n += sum(1 for i in block.instructions if not isinstance(i, Phi))
+    code.block_starts = (
+        tuple(start_pc[b] for b in func.blocks),
+        tuple(b.name for b in func.blocks),
+    )
 
     load_costs = _cost_by_tag(cfg.load_cost)
     store_costs = _cost_by_tag(cfg.store_cost)
@@ -1189,8 +1261,10 @@ def decode_function(func: Function, cost: CostModel, warp_size: int) -> DecodedF
         size = scalar_size(ty)
         if isinstance(ty, FloatType):
             unpack = struct.Struct(_FLOAT_FMT[ty.bits]).unpack_from
-            return (_h_load_f, "load", next_pc, d, p, size, ty, load_costs, unpack)
-        return (_h_load_int, "load", next_pc, d, p, size, ty, load_costs)
+            h = _h_load_slow if sanitize else _h_load_f
+            return (h, "load", next_pc, d, p, size, ty, load_costs, unpack)
+        h = _h_load_slow if sanitize else _h_load_int
+        return (h, "load", next_pc, d, p, size, ty, load_costs)
 
     def emit_store(inst: Store, next_pc: int):
         ty = inst.value.type
@@ -1198,10 +1272,13 @@ def decode_function(func: Function, cost: CostModel, warp_size: int) -> DecodedF
         size = scalar_size(ty)
         if isinstance(ty, FloatType):
             pack = struct.Struct(_FLOAT_FMT[ty.bits]).pack_into
-            return (_h_store_f, "store", next_pc, p, v, size, ty, store_costs, pack)
+            h = _h_store_slow if sanitize else _h_store_f
+            return (h, "store", next_pc, p, v, size, ty, store_costs, pack)
         if isinstance(ty, IntType):
-            return (_h_store_int, "store", next_pc, p, v, size, ty, store_costs, ty.wrap)
-        return (_h_store_ptr, "store", next_pc, p, v, size, ty, store_costs)
+            h = _h_store_slow if sanitize else _h_store_int
+            return (h, "store", next_pc, p, v, size, ty, store_costs, ty.wrap)
+        h = _h_store_slow if sanitize else _h_store_ptr
+        return (h, "store", next_pc, p, v, size, ty, store_costs)
 
     def emit_icmp(inst: ICmp, next_pc: int):
         d = slot_map[id(inst)]
@@ -1416,7 +1493,7 @@ def bind_function(vm, func: Function) -> BoundFunction:
     bound = vm._bound_cache.get(func)
     if bound is not None:
         return bound
-    code = decode_function(func, vm.cost, vm.config.warp_size)
+    code = decode_function(func, vm.cost, vm.config.warp_size, sanitize=vm.sanitize)
     init: List = [None] * code.num_slots
     for s, v in code.static_init:
         init[s] = v
@@ -1461,23 +1538,33 @@ def run_thread(vm, thread: ThreadContext) -> None:
         while thread.status is _RUNNING:
             frame = frames[-1]
             op = frame.ops[frame.pc]
+            # Check before the retire: a stopped thread reports exactly
+            # max_steps retired instructions (the over-budget op never
+            # executes), identically in both engines.
+            if steps == max_steps:
+                raise step_limit_error(thread, max_steps, frame.function.name)
             steps += 1
-            if steps > max_steps:
-                raise StepLimitExceeded(
-                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
-                    f"{max_steps} steps in @{frame.function.name}"
-                )
             counts[op[1]] += 1
             cycles += op[0](vm, thread, frame, op)
     except TypeError as exc:
         # A None register means an SSA value was read before any
         # definition executed — the decoded-engine analogue of the
         # legacy "use of undefined value" error.
-        raise SimulationError(
-            f"use of undefined value in @{frames[-1].function.name}: {exc}"
+        thread.steps = steps
+        err = (
+            undefined_value_error(frames[-1].function.name, str(exc))
             if frames
-            else f"use of undefined value: {exc}"
+            else SimulationError(f"use of undefined value: {exc}")
+        )
+        raise attach_context(
+            err, thread, _block_name(vm, frames[-1]) if frames else None
         ) from exc
+    except (SimulationError, MemoryError_) as exc:
+        # Flush the step counter first: the crash context snapshots it.
+        thread.steps = steps
+        raise attach_context(
+            exc, thread, _block_name(vm, frames[-1]) if frames else None
+        )
     finally:
         thread.steps = steps
         thread.phase_cycles += cycles
@@ -1500,22 +1587,28 @@ def _run_thread_traced(vm, thread: ThreadContext) -> None:
         while thread.status is _RUNNING:
             frame = frames[-1]
             op = frame.ops[frame.pc]
+            if steps == max_steps:
+                raise step_limit_error(thread, max_steps, frame.function.name)
             steps += 1
-            if steps > max_steps:
-                raise StepLimitExceeded(
-                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
-                    f"{max_steps} steps in @{frame.function.name}"
-                )
             counts[op[1]] += 1
             c = op[0](vm, thread, frame, op)
             cycles += c
             fn_cycles[frame.function.name] += c
     except TypeError as exc:
-        raise SimulationError(
-            f"use of undefined value in @{frames[-1].function.name}: {exc}"
+        thread.steps = steps
+        err = (
+            undefined_value_error(frames[-1].function.name, str(exc))
             if frames
-            else f"use of undefined value: {exc}"
+            else SimulationError(f"use of undefined value: {exc}")
+        )
+        raise attach_context(
+            err, thread, _block_name(vm, frames[-1]) if frames else None
         ) from exc
+    except (SimulationError, MemoryError_) as exc:
+        thread.steps = steps
+        raise attach_context(
+            exc, thread, _block_name(vm, frames[-1]) if frames else None
+        )
     finally:
         thread.steps = steps
         thread.phase_cycles += cycles

@@ -66,6 +66,7 @@ class ThreadContext:
         "steps",
         "barrier_call",
         "stats",
+        "faults",
         "local_seg",
         "shared_seg",
     )
@@ -80,6 +81,9 @@ class ThreadContext:
         self.steps = 0
         self.barrier_call: Optional[Call] = None
         self.stats = None
+        #: Per-team fault-injection state (:class:`repro.faults.plan.
+        #: TeamFaultState`) or — almost always — None.
+        self.faults = None
         self.local_seg = None
         self.shared_seg = None
 
@@ -93,6 +97,7 @@ class ThreadContext:
         self.steps = 0
         self.barrier_call = None
         self.stats = None
+        self.faults = None
         self.local_seg = None
         self.shared_seg = None
 

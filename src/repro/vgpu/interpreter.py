@@ -31,14 +31,20 @@ produce identical profiles.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait as _wait_futures
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.memory.addrspace import AddressSpace, make_pointer, pointer_space
 from repro.memory.layout import DATA_LAYOUT
-from repro.memory.memmodel import DEVICE_LOCK, MemorySystem, encode_scalar
+from repro.memory.memmodel import (
+    DEVICE_LOCK,
+    MemoryError_,
+    MemorySystem,
+    encode_scalar,
+)
 from repro.ir.instructions import (
     Alloca,
     AtomicRMW,
@@ -67,17 +73,27 @@ from repro.vgpu.config import (
     DEFAULT_CONFIG,
     GPUConfig,
     LaunchConfig,
+    resolve_fault_plan,
+    resolve_sanitize,
     resolve_sim_engine,
     resolve_sim_jobs,
+    resolve_watchdog,
 )
 from repro.vgpu.config import ENGINE_DECODED, ENGINE_LEGACY  # noqa: F401 (re-export)
 from repro.vgpu.cost import CostModel
 from repro.vgpu.errors import (
-    AssumptionViolation,
+    BarrierDivergence,
     DivergenceError,
+    SanitizerError,
     SimulationError,
-    StepLimitExceeded,
-    TrapError,
+    WatchdogExpired,
+    assumption_error,
+    attach_context,
+    call_stack_overflow_error,
+    division_by_zero_error,
+    step_limit_error,
+    trap_error,
+    unreachable_error,
 )
 from repro.vgpu.execstate import (  # noqa: F401 (Frame/ThreadStatus re-exported)
     Frame,
@@ -112,6 +128,8 @@ class VirtualGPU:
         env: Optional[Dict[str, int]] = None,
         engine: Optional[str] = None,
         trace=None,
+        sanitize: Optional[bool] = None,
+        faults=None,
     ) -> None:
         self.module = module
         self.config = config
@@ -128,7 +146,19 @@ class VirtualGPU:
         #: selectable via ``REPRO_SIM_ENGINE``.
         self.engine = resolve_sim_engine(engine)
         self.env = dict(env or {})
-        self.memory = MemorySystem(
+        #: Sanitizer mode (``REPRO_SANITIZE`` when not passed): swaps in
+        #: the shadow-checked memory system and arms the barrier-
+        #: divergence detector in the phase driver.
+        self.sanitize = resolve_sanitize(sanitize)
+        if self.sanitize:
+            from repro.vgpu.sanitizer import SanitizedMemorySystem as _MemSys
+        else:
+            _MemSys = MemorySystem
+        #: Fault-injection plan (``REPRO_FAULTS`` when not passed), or
+        #: None — the common case, in which no engine hot path ever
+        #: consults the fault machinery.
+        self.fault_plan = resolve_fault_plan(faults)
+        self.memory = _MemSys(
             global_size=config.global_memory,
             constant_size=config.constant_memory,
             shared_size=config.shared_memory_per_team,
@@ -248,6 +278,7 @@ class VirtualGPU:
         threads_per_team: int,
         dynamic_shared_bytes: int = 0,
         sim_jobs: Optional[int] = None,
+        watchdog_s: Optional[float] = None,
     ) -> KernelProfile:
         """Execute *kernel* over the given grid; returns its profile.
 
@@ -259,6 +290,12 @@ class VirtualGPU:
         independent teams on that many worker threads.  Profiles are
         identical to a serial run: each team counts into a private
         :class:`TeamStats` and results merge in team order.
+
+        ``watchdog_s`` (default: ``REPRO_WATCHDOG_S``, 0 = off) bounds
+        the wall-clock time of *parallel* team simulation: when it
+        expires, in-flight teams are cooperatively aborted at their
+        next phase boundary and the launch raises
+        :class:`~repro.vgpu.errors.WatchdogExpired`.
         """
         func = self.module.get_function(kernel) if isinstance(kernel, str) else kernel
         if func.is_declaration:
@@ -285,23 +322,37 @@ class VirtualGPU:
         profile.registers = resources.registers
         profile.shared_memory_bytes = resources.shared_memory_bytes
 
+        if self.sanitize:
+            self.memory.begin_launch()
         jobs = resolve_sim_jobs(sim_jobs, num_teams)
-        if jobs == 1:
-            # Serial reference path: one reusable thread-context
-            # workspace shared by all teams (allocation reuse).
-            workspace: List[ThreadContext] = []
-            results = [
-                self._run_team(func, args, team_id, launch, workspace)
-                for team_id in range(num_teams)
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                results = list(
-                    pool.map(
-                        lambda team_id: self._run_team(func, args, team_id, launch),
-                        range(num_teams),
-                    )
+        try:
+            if jobs == 1:
+                # Serial reference path: one reusable thread-context
+                # workspace shared by all teams (allocation reuse).
+                workspace: List[ThreadContext] = []
+                results = [
+                    self._run_team(func, args, team_id, launch, workspace)
+                    for team_id in range(num_teams)
+                ]
+            else:
+                results = self._run_teams_parallel(
+                    func, args, num_teams, launch, jobs,
+                    resolve_watchdog(watchdog_s),
                 )
+        except SimulationError as exc:
+            if self._trace is not None:
+                from repro.trace.categories import (
+                    FAULT_EVENT_CATEGORY,
+                    SANITIZER_EVENT_CATEGORY,
+                )
+
+                cat = (SANITIZER_EVENT_CATEGORY if isinstance(exc, SanitizerError)
+                       else FAULT_EVENT_CATEGORY)
+                self._trace.instant(
+                    f"crash.{type(exc).__name__}", cat=cat,
+                    kernel=func.name, engine=self.engine, message=str(exc),
+                )
+            raise
 
         team_times: List[int] = []
         for team_id, (team_time, stats) in enumerate(results):
@@ -328,6 +379,41 @@ class VirtualGPU:
 
     # ------------------------------------------------------------- team driver --
 
+    def _run_teams_parallel(
+        self,
+        kernel: Function,
+        args: Sequence[Scalar],
+        num_teams: int,
+        launch: LaunchConfig,
+        jobs: int,
+        watchdog_s: float,
+    ) -> List[Tuple[int, TeamStats]]:
+        """Fan teams out to *jobs* workers, optionally under a watchdog.
+
+        Results (and errors) are collected in team order, so the team
+        whose error surfaces is the same one a serial run would have
+        reported — launch failures stay deterministic under
+        ``sim_jobs=N``.
+        """
+        abort = threading.Event() if watchdog_s > 0 else None
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(self._run_team, kernel, args, team_id, launch,
+                            None, abort)
+                for team_id in range(num_teams)
+            ]
+            if abort is not None:
+                done, not_done = _wait_futures(futures, timeout=watchdog_s)
+                if not_done:
+                    abort.set()
+                    _wait_futures(futures)  # workers stop at a phase boundary
+                    raise WatchdogExpired(
+                        f"watchdog ({watchdog_s:g}s) expired with "
+                        f"{len(not_done)}/{num_teams} teams of "
+                        f"@{kernel.name} still running"
+                    )
+            return [f.result() for f in futures]
+
     def _run_team(
         self,
         kernel: Function,
@@ -335,6 +421,7 @@ class VirtualGPU:
         team_id: int,
         launch: LaunchConfig,
         workspace: Optional[List[ThreadContext]] = None,
+        abort: Optional[threading.Event] = None,
     ) -> Tuple[int, TeamStats]:
         """Simulate one team; returns its elapsed time and counters."""
         stats = TeamStats()
@@ -358,9 +445,15 @@ class VirtualGPU:
             for thread in threads:
                 thread.reset(team_id)
 
+        # Per-team fault counters (None in the common, fault-free case;
+        # every engine hook is behind a `thread.faults is not None`).
+        fstate = (self.fault_plan.team_state(team_id, launch)
+                  if self.fault_plan is not None else None)
+
         decoded = self.engine == ENGINE_DECODED
         for thread in threads:
             thread.stats = stats
+            thread.faults = fstate
             if decoded:
                 thread.frames.append(_decode.make_kernel_frame(self, kernel, args))
             else:
@@ -376,13 +469,30 @@ class VirtualGPU:
         plog = stats.phase_log if self._trace is not None else None
         alive = list(threads)
         while alive:
+            if abort is not None and abort.is_set():
+                raise WatchdogExpired(
+                    f"team {team_id} aborted by the launch watchdog"
+                )
             for thread in alive:
                 if thread.status is _RUNNING:
                     if decoded:
                         _decode.run_thread(self, thread)
                     else:
                         self._run_thread(thread, launch, stats)
-            alive = [t for t in alive if t.status is not _DONE]
+            still = [t for t in alive if t.status is not _DONE]
+            if self.sanitize and still and len(still) < len(alive):
+                # Some threads exited the kernel while teammates wait at
+                # a barrier that can now never be satisfied: on hardware
+                # this is a hang; here it is a structured diagnostic.
+                waiting = sorted(t.thread_id for t in still)
+                exited = sorted(
+                    t.thread_id for t in alive if t.status is _DONE)
+                raise BarrierDivergence(
+                    f"barrier divergence in team {team_id}: threads "
+                    f"{exited} finished the kernel while threads "
+                    f"{waiting} wait at a barrier", team=team_id,
+                )
+            alive = still
             if not alive:
                 break
             # Everyone alive is at a barrier: close the phase.
@@ -390,11 +500,17 @@ class VirtualGPU:
             aligned = all(
                 self._barrier_is_aligned(c) for c in barrier_calls if c is not None
             )
-            if self.debug_checks and aligned and len(barrier_calls) > 1:
-                raise DivergenceError(
-                    f"threads of team {team_id} reached different aligned "
-                    f"barrier instructions"
-                )
+            if aligned and len(barrier_calls) > 1:
+                if self.sanitize:
+                    raise BarrierDivergence(
+                        f"threads of team {team_id} reached different "
+                        f"aligned barrier instructions", team=team_id,
+                    )
+                if self.debug_checks:
+                    raise DivergenceError(
+                        f"threads of team {team_id} reached different aligned "
+                        f"barrier instructions"
+                    )
             barrier_cost = max(
                 (self._barrier_cost(c) for c in barrier_calls if c is not None),
                 default=0,
@@ -449,16 +565,21 @@ class VirtualGPU:
         if self._trace is not None:
             return self._run_thread_traced(thread, launch, stats)
         max_steps = self.config.max_steps_per_thread
-        while thread.status is _RUNNING:
-            frame = thread.frame
-            inst = frame.block.instructions[frame.index]
-            thread.steps += 1
-            if thread.steps > max_steps:
-                raise StepLimitExceeded(
-                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
-                    f"{max_steps} steps in @{frame.function.name}"
-                )
-            self._execute(inst, thread, launch, stats)
+        try:
+            while thread.status is _RUNNING:
+                frame = thread.frame
+                inst = frame.block.instructions[frame.index]
+                # Check before the retire: the stopped thread reports
+                # exactly max_steps retired instructions (engine-pinned
+                # by tests/vgpu/test_step_limit.py).
+                if thread.steps == max_steps:
+                    raise step_limit_error(thread, max_steps, frame.function.name)
+                thread.steps += 1
+                self._execute(inst, thread, launch, stats)
+        except (SimulationError, MemoryError_) as exc:
+            frames = thread.frames
+            raise attach_context(
+                exc, thread, frames[-1].block.name if frames else None)
 
     def _run_thread_traced(
         self, thread: ThreadContext, launch: LaunchConfig, stats: TeamStats
@@ -468,18 +589,20 @@ class VirtualGPU:
         (each instruction's cycles go to the function executing it)."""
         max_steps = self.config.max_steps_per_thread
         fn_cycles = stats.function_cycles
-        while thread.status is _RUNNING:
-            frame = thread.frame
-            inst = frame.block.instructions[frame.index]
-            thread.steps += 1
-            if thread.steps > max_steps:
-                raise StepLimitExceeded(
-                    f"thread ({thread.team_id},{thread.thread_id}) exceeded "
-                    f"{max_steps} steps in @{frame.function.name}"
-                )
-            before = thread.phase_cycles
-            self._execute(inst, thread, launch, stats)
-            fn_cycles[frame.function.name] += thread.phase_cycles - before
+        try:
+            while thread.status is _RUNNING:
+                frame = thread.frame
+                inst = frame.block.instructions[frame.index]
+                if thread.steps == max_steps:
+                    raise step_limit_error(thread, max_steps, frame.function.name)
+                thread.steps += 1
+                before = thread.phase_cycles
+                self._execute(inst, thread, launch, stats)
+                fn_cycles[frame.function.name] += thread.phase_cycles - before
+        except (SimulationError, MemoryError_) as exc:
+            frames = thread.frames
+            raise attach_context(
+                exc, thread, frames[-1].block.name if frames else None)
 
     # -------------------------------------------------------------- evaluation --
 
@@ -656,10 +779,7 @@ class VirtualGPU:
             return
 
         if isinstance(inst, Unreachable):
-            raise TrapError(
-                f"unreachable executed in @{frame.function.name} "
-                f"(team {thread.team_id}, thread {thread.thread_id})"
-            )
+            raise unreachable_error(frame.function.name, thread)
 
         if isinstance(inst, Call):
             self._execute_call(inst, thread, launch, stats)
@@ -701,6 +821,8 @@ class VirtualGPU:
         category = _RUNTIME_CATEGORY(callee.name)
         if category is not None:
             stats.runtime_calls[category] += 1
+            if thread.faults is not None:
+                thread.faults.on_runtime_call(self, thread, frame, callee.name)
 
         thread.phase_cycles += self.cost.config.call_cost
         new_frame = Frame(callee, inst)
@@ -713,10 +835,7 @@ class VirtualGPU:
             new_frame.values[formal] = self._coerce(self._eval(actual, frame), formal.type)
         thread.frames.append(new_frame)
         if len(thread.frames) > 512:
-            raise SimulationError(
-                f"call stack overflow in @{callee.name} "
-                f"(team {thread.team_id}, thread {thread.thread_id})"
-            )
+            raise call_stack_overflow_error(callee.name, thread)
 
     def _execute_intrinsic(
         self,
@@ -732,6 +851,11 @@ class VirtualGPU:
         thread.phase_cycles += info.cost
 
         if info.is_barrier:
+            if thread.faults is not None and thread.faults.skip_barrier(self, thread):
+                # Injected divergence: fall through the barrier and keep
+                # running while the rest of the team waits.
+                self._advance(thread)
+                return
             thread.status = _AT_BARRIER
             thread.barrier_call = inst
             self._advance(thread)
@@ -760,18 +884,12 @@ class VirtualGPU:
             result = base
         elif name == "llvm.assume":
             if self.debug_checks and not argv[0]:
-                raise AssumptionViolation(
-                    f"assumption violated in @{frame.function.name} "
-                    f"(team {thread.team_id}, thread {thread.thread_id})"
-                )
+                raise assumption_error(frame.function.name, thread)
         elif name == "llvm.expect":
             result = argv[0]
         elif name == "llvm.trap":
             msg = stats.output[-1] if stats.output else "llvm.trap"
-            raise TrapError(
-                f"trap in @{frame.function.name} "
-                f"(team {thread.team_id}, thread {thread.thread_id}): {msg}"
-            )
+            raise trap_error(frame.function.name, thread, msg)
         elif name == "rt.print_i64":
             stats.output.append(str(_I64.to_signed(int(argv[0]))))
         elif name == "rt.print_f64":
@@ -780,6 +898,8 @@ class VirtualGPU:
             addr = int(argv[0])
             stats.output.append(self._string_table.get(addr, f"<str {addr:#x}>"))
         elif name == "malloc":
+            if thread.faults is not None:
+                thread.faults.on_device_malloc(self, thread, frame.function.name)
             stats.device_mallocs += 1
             result = self.memory.malloc(int(argv[0]))
         elif name == "free":
@@ -849,12 +969,12 @@ class VirtualGPU:
                 return ity.wrap(sa >> (b % ity.bits))
             if op in ("sdiv", "srem"):
                 if sb == 0:
-                    raise TrapError("integer division by zero")
+                    raise division_by_zero_error()
                 q = int(sa / sb)
                 return ity.wrap(q if op == "sdiv" else sa - q * sb)
             if op in ("udiv", "urem"):
                 if b == 0:
-                    raise TrapError("integer division by zero")
+                    raise division_by_zero_error()
                 return a // b if op == "udiv" else a % b
         raise SimulationError(f"unhandled binop {op} on {ty}")  # pragma: no cover
 

@@ -1,0 +1,64 @@
+"""The `python -m repro.bench faults` matrix (and its --smoke subset).
+
+Running the smoke matrix in-process is the compiled-app integration
+test for the whole robustness stack: real kernels, both engines,
+``sim_jobs=2``, CrashReport comparability — the same entry point
+``make verify`` drives.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import faults_cli
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return faults_cli.run_faults(smoke=True)
+
+
+class TestSmokeMatrix:
+    def test_matrix_passes(self, smoke_report):
+        for row in smoke_report["scenarios"]:
+            assert not row["problems"], (row["scenario"], row["problems"])
+        assert smoke_report["ok"] is True
+
+    def test_smoke_runs_exactly_the_smoke_scenarios(self, smoke_report):
+        names = [r["scenario"] for r in smoke_report["scenarios"]]
+        assert names == list(faults_cli.SMOKE_NAMES)
+
+    def test_every_scenario_ran_all_three_cells(self, smoke_report):
+        for row in smoke_report["scenarios"]:
+            assert set(row["cells"]) == {"decoded", "legacy", "sim_jobs=2"}
+
+    def test_exhaust_shows_fallback_mallocs(self, smoke_report):
+        row = next(r for r in smoke_report["scenarios"]
+                   if r["scenario"] == "stack-exhaust")
+        assert row["cells"]["decoded"]["device_mallocs"] > 0
+
+    def test_rt_trap_produces_a_comparable_report(self, smoke_report):
+        row = next(r for r in smoke_report["scenarios"]
+                   if r["scenario"] == "rt-trap")
+        reports = {label: cell["report"] for label, cell in row["cells"].items()}
+        assert reports["decoded"] == reports["legacy"] == reports["sim_jobs=2"]
+        assert reports["decoded"]["error_type"] == "InjectedFault"
+        assert reports["decoded"]["context"] is not None
+
+    def test_render_json_round_trips(self, smoke_report):
+        assert json.loads(faults_cli.render_json(smoke_report)) == smoke_report
+
+    def test_format_mentions_the_verdict(self, smoke_report):
+        text = faults_cli.format_faults(smoke_report)
+        assert "matrix OK" in text
+        assert text.count("[PASS]") == len(faults_cli.SMOKE_NAMES)
+
+
+def test_scenario_table_is_well_formed():
+    names = [s.name for s in faults_cli.SCENARIOS]
+    assert len(names) == len(set(names))
+    assert set(faults_cli.SMOKE_NAMES) <= set(names)
+    for scenario in faults_cli.SCENARIOS:
+        assert scenario.expect == "ok" or scenario.expect[0].isupper()

@@ -52,6 +52,40 @@ class TestStrParsing:
         assert envconfig.sim_engine() == "decoded"
 
 
+class TestFloatParsing:
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG_S", "2.5")
+        assert envconfig.watchdog_s() == 2.5
+
+    def test_malformed_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG_S", "soon")
+        assert envconfig.watchdog_s() == 0.0
+
+    def test_negative_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCHDOG_S", "-3")
+        assert envconfig.watchdog_s() == 0.0
+
+    def test_unset_default_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WATCHDOG_S", raising=False)
+        assert envconfig.watchdog_s() == 0.0
+
+
+class TestRobustnessKnobs:
+    def test_faults_spec_default_empty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert envconfig.faults_spec() == ""
+
+    def test_faults_spec_passthrough(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "rt_trap:n=3;seed=9")
+        assert envconfig.faults_spec() == "rt_trap:n=3;seed=9"
+
+    def test_sanitize_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert envconfig.sanitize_enabled() is False
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert envconfig.sanitize_enabled() is True
+
+
 class TestRegistry:
     def test_undocumented_knob_rejected(self):
         with pytest.raises(KeyError):
@@ -66,6 +100,7 @@ class TestRegistry:
             "REPRO_SIM_ENGINE", "REPRO_SIM_JOBS", "REPRO_JOBS",
             "REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_CACHE_DISK",
             "REPRO_CACHE_SIZE", "REPRO_TRACE",
+            "REPRO_FAULTS", "REPRO_SANITIZE", "REPRO_WATCHDOG_S",
         }
         assert expected == set(envconfig.KNOBS)
 

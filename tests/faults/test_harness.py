@@ -1,0 +1,126 @@
+"""run_guarded: crash reporting and the decoded -> legacy retry.
+
+These tests drive the harness with duck-typed fake devices so every
+degradation path (program fault, internal fault, double fault) is
+covered without compiling anything; the real-device paths are covered
+by ``tests/faults/test_injection.py`` and the faults CLI smoke.
+"""
+
+import pytest
+
+from repro.faults import run_guarded
+from repro.faults.harness import PROGRAM_FAULTS
+from repro.memory.memmodel import MemoryError_
+from repro.vgpu.config import ENGINE_DECODED, ENGINE_LEGACY
+from repro.vgpu.errors import SimulationError, TrapError
+
+PROFILE = object()  # sentinel: the harness never inspects the profile
+
+
+class FakeGPU:
+    def __init__(self, engine, outcome):
+        self.engine = engine
+        self.outcome = outcome  # exception to raise, or None for success
+        self.fault_plan = None
+        self._trace = None
+        self.launches = 0
+
+    def launch(self, kernel, args, num_teams, threads_per_team,
+               sim_jobs=None, watchdog_s=None):
+        self.launches += 1
+        if self.outcome is not None:
+            raise self.outcome
+        return PROFILE
+
+
+def _factories(outcomes):
+    """make_gpu/make_args factories; ``outcomes[engine]`` scripts each
+    engine's launch.  Returns (make_gpu, make_args, log of built gpus)."""
+    built = []
+
+    def make_gpu(engine):
+        gpu = FakeGPU(engine, outcomes.get(engine))
+        built.append(gpu)
+        return gpu
+
+    def make_args(gpu):
+        return [id(gpu)]  # args embed device state: must differ per gpu
+
+    return make_gpu, make_args, built
+
+
+def _run(outcomes, **kwargs):
+    make_gpu, make_args, built = _factories(outcomes)
+    outcome = run_guarded(make_gpu, make_args, "kern", 2, 32,
+                          save_report=False, **kwargs)
+    return outcome, built
+
+
+class TestCleanRun:
+    def test_success_passes_the_profile_through(self):
+        outcome, built = _run({}, engine=ENGINE_DECODED)
+        assert outcome.ok and outcome.profile is PROFILE
+        assert outcome.engine == ENGINE_DECODED and not outcome.retried
+        assert outcome.report is None and outcome.report_path is None
+        assert len(built) == 1
+
+
+class TestProgramFaults:
+    def test_program_fault_reports_without_retry(self):
+        outcome, built = _run({ENGINE_DECODED: TrapError("trap: boom")},
+                              engine=ENGINE_DECODED)
+        assert not outcome.ok and not outcome.retried
+        assert outcome.report.error_type == "TrapError"
+        assert "boom" in outcome.report.message
+        assert len(built) == 1  # a deterministic program fault: no retry
+
+    def test_memory_errors_count_as_program_faults(self):
+        assert MemoryError_ in PROGRAM_FAULTS and SimulationError in PROGRAM_FAULTS
+        outcome, built = _run({ENGINE_DECODED: MemoryError_("oob")},
+                              engine=ENGINE_DECODED)
+        assert not outcome.ok and outcome.report.error_type == "MemoryError_"
+
+    def test_report_is_saved_when_asked(self, tmp_path):
+        make_gpu, make_args, _ = _factories({ENGINE_DECODED: TrapError("x")})
+        outcome = run_guarded(make_gpu, make_args, "kern", 2, 32,
+                              engine=ENGINE_DECODED, save_report=True,
+                              report_dir=str(tmp_path))
+        assert outcome.report_path is not None
+        assert outcome.report_path.startswith(str(tmp_path))
+
+
+class TestEngineFallback:
+    def test_internal_decoded_fault_retries_on_fresh_legacy(self):
+        outcome, built = _run({ENGINE_DECODED: RuntimeError("engine bug")},
+                              engine=ENGINE_DECODED)
+        assert outcome.ok and outcome.retried
+        assert outcome.profile is PROFILE and outcome.engine == ENGINE_LEGACY
+        # The internal fault is still on record — never silent recovery.
+        assert outcome.report.retry == {
+            "from_engine": ENGINE_DECODED, "to_engine": ENGINE_LEGACY,
+            "error_type": "RuntimeError", "message": "engine bug",
+        }
+        # Fresh device for the retry, args rebuilt against it.
+        assert [g.engine for g in built] == [ENGINE_DECODED, ENGINE_LEGACY]
+        assert built[0].launches == 1 and built[1].launches == 1
+
+    def test_internal_legacy_fault_propagates(self):
+        with pytest.raises(RuntimeError, match="engine bug"):
+            _run({ENGINE_LEGACY: RuntimeError("engine bug")},
+                 engine=ENGINE_LEGACY)
+
+    def test_program_fault_on_retry_keeps_the_retry_record(self):
+        outcome, built = _run(
+            {ENGINE_DECODED: RuntimeError("engine bug"),
+             ENGINE_LEGACY: TrapError("trap: boom")},
+            engine=ENGINE_DECODED)
+        assert not outcome.ok and outcome.retried
+        assert outcome.report.error_type == "TrapError"
+        assert outcome.report.retry["error_type"] == "RuntimeError"
+        assert len(built) == 2
+
+    def test_second_internal_fault_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            _run({ENGINE_DECODED: RuntimeError("engine bug"),
+                  ENGINE_LEGACY: ZeroDivisionError()},
+                 engine=ENGINE_DECODED)

@@ -1,0 +1,145 @@
+"""Fault injection fires identically in both engines.
+
+The acceptance criterion of the robustness work: the same FaultPlan
+produces the same exception — type, frozen message, attached device
+context — under the legacy tree-walker, the decoded engine, and
+``sim_jobs=N``; and a plan that never fires leaves the KernelProfile
+bit-identical.  (The compiled-app version of these checks — including
+CrashReport comparability — runs in ``tests/bench/test_faults_cli.py``
+and ``python -m repro.bench faults``.)
+"""
+
+import pytest
+
+from repro.ir import I64, Module, verify_module
+from repro.vgpu import BarrierDivergence, InjectedFault, VirtualGPU
+from repro.vgpu.config import ENGINES
+from tests.conftest import make_kernel
+
+GEOMETRY = dict(num_teams=1, threads_per_team=1)
+
+
+def _malloc_module():
+    """kern(): three device mallocs, then return."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    for _ in range(3):
+        b.intrinsic("malloc", [b.i64(16)])
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def _barrier_module():
+    """kern(): one team-wide barrier, then return."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    b.barrier()
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def _divergent_barrier_module():
+    """kern(): thread 0 and thread 1 arrive at *different* aligned barriers."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    left = func.add_block("left")
+    right = func.add_block("right")
+    done = func.add_block("done")
+    tid = b.thread_id()
+    b.cond_br(b.icmp("eq", tid, b.i32(0)), left, right)
+    b.set_insert_point(left)
+    b.aligned_barrier()
+    b.br(done)
+    b.set_insert_point(right)
+    b.aligned_barrier()
+    b.br(done)
+    b.set_insert_point(done)
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def _failure(module, engine, faults, sanitize=False, teams=1, threads=1,
+             sim_jobs=None):
+    gpu = VirtualGPU(module, engine=engine, faults=faults, sanitize=sanitize)
+    with pytest.raises(Exception) as excinfo:
+        gpu.launch("kern", [], teams, threads, sim_jobs=sim_jobs)
+    return excinfo.value
+
+
+class TestMallocFail:
+    def test_fires_at_the_nth_malloc_with_the_frozen_message(self):
+        for engine in ENGINES:
+            exc = _failure(_malloc_module(), engine, "malloc_fail:n=2")
+            assert isinstance(exc, InjectedFault)
+            assert str(exc) == ("injected device malloc failure #2 in @kern "
+                                "(team 0, thread 0)")
+
+    def test_context_is_identical_across_engines(self):
+        contexts = []
+        for engine in ENGINES:
+            exc = _failure(_malloc_module(), engine, "malloc_fail:n=2")
+            assert exc.context is not None
+            contexts.append(exc.context.to_dict())
+        assert contexts[0] == contexts[1]
+        assert contexts[0]["function"] == "kern"
+
+    def test_failed_malloc_is_not_counted(self):
+        gpu = VirtualGPU(_malloc_module(), faults="malloc_fail:n=2")
+        with pytest.raises(InjectedFault):
+            gpu.launch("kern", [], 1, 1)
+        # Only the first malloc completed before the injected failure.
+        assert gpu.memory.global_seg.brk > 0  # device is still sane
+
+
+class TestZeroPerturbation:
+    def test_armed_plan_that_never_fires_leaves_the_profile_identical(self):
+        module = _malloc_module()
+        baseline = VirtualGPU(module).launch("kern", [], **GEOMETRY)
+        armed = VirtualGPU(module, faults="malloc_fail:n=99").launch(
+            "kern", [], **GEOMETRY)
+        assert armed.to_dict() == baseline.to_dict()
+        assert armed.device_mallocs == 3
+
+
+class TestBarrierSkip:
+    def test_sanitizer_turns_the_hang_into_a_diagnostic(self):
+        messages = []
+        for engine in ENGINES:
+            exc = _failure(_barrier_module(), engine, "barrier_skip:n=1",
+                           sanitize=True, threads=2)
+            assert isinstance(exc, BarrierDivergence)
+            assert exc.team == 0
+            messages.append(str(exc))
+        assert messages[0] == messages[1]
+        assert "finished the kernel while threads" in messages[0]
+
+    def test_sim_jobs_report_the_same_divergence(self):
+        serial = _failure(_barrier_module(), "decoded", "barrier_skip:n=1",
+                          sanitize=True, teams=2, threads=2)
+        parallel = _failure(_barrier_module(), "decoded", "barrier_skip:n=1",
+                            sanitize=True, teams=2, threads=2, sim_jobs=2)
+        assert type(serial) is type(parallel)
+        assert str(serial) == str(parallel)
+
+    def test_without_sanitizer_the_simulator_releases_the_barrier(self):
+        # On hardware this hangs; the simulator completes the launch so
+        # the sanitize=True diagnostic is strictly additive.
+        gpu = VirtualGPU(_barrier_module(), faults="barrier_skip:n=1")
+        profile = gpu.launch("kern", [], 1, 2)
+        assert profile.cycles > 0
+
+
+class TestDivergentAlignedBarriers:
+    def test_sanitizer_flags_mismatched_aligned_barriers(self):
+        messages = []
+        for engine in ENGINES:
+            gpu = VirtualGPU(_divergent_barrier_module(), engine=engine,
+                             sanitize=True)
+            with pytest.raises(BarrierDivergence) as excinfo:
+                gpu.launch("kern", [], 1, 2)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        assert "different aligned barrier instructions" in messages[0]

@@ -1,0 +1,134 @@
+"""S1: both engines raise bit-identical errors.
+
+Every device failure mode must produce the same exception type, the
+same frozen message (formatted by the factory helpers in
+``repro.vgpu.errors``), and the same attached
+:class:`DeviceErrorContext` under the legacy tree-walker and the
+decoded engine — the invariant CrashReport determinism builds on.
+"""
+
+import pytest
+
+from repro.ir import I64, Module, PTR_GLOBAL, verify_module
+from repro.vgpu import (
+    AssumptionViolation,
+    CallStackOverflow,
+    TrapError,
+    VirtualGPU,
+)
+from repro.vgpu.config import ENGINES
+from tests.conftest import make_function, make_kernel
+
+
+def _fail_both(build_module, *, debug_checks=False, args=()):
+    """Run the module under both engines; return [(exc, context_dict)]."""
+    out = []
+    for engine in ENGINES:
+        module = build_module()
+        gpu = VirtualGPU(module, engine=engine, debug_checks=debug_checks)
+        with pytest.raises(Exception) as excinfo:
+            gpu.launch("kern", list(args), 1, 1)
+        exc = excinfo.value
+        context = exc.context.to_dict() if exc.context is not None else None
+        out.append((exc, context))
+    return out
+
+
+def _assert_unified(results, expected_type, message_contains):
+    (exc_a, ctx_a), (exc_b, ctx_b) = results
+    assert type(exc_a) is type(exc_b) is expected_type
+    assert str(exc_a) == str(exc_b)
+    assert message_contains in str(exc_a)
+    assert ctx_a == ctx_b
+    assert ctx_a is not None and ctx_a["function"] == "kern"
+
+
+def test_division_by_zero():
+    def build():
+        module = Module("m")
+        func, b = make_kernel(module, params=(I64,))
+        b.sdiv(b.i64(1), func.args[0])
+        b.ret()
+        verify_module(module)
+        return module
+
+    _assert_unified(_fail_both(build, args=(0,)),
+                    TrapError, "integer division by zero")
+
+
+def test_unreachable():
+    def build():
+        module = Module("m")
+        func, b = make_kernel(module, params=())
+        b.unreachable()
+        verify_module(module)
+        return module
+
+    _assert_unified(_fail_both(build), TrapError,
+                    "unreachable executed in @kern (team 0, thread 0)")
+
+
+def test_trap_intrinsic():
+    def build():
+        module = Module("m")
+        func, b = make_kernel(module, params=())
+        b.intrinsic("llvm.trap")
+        b.ret()
+        verify_module(module)
+        return module
+
+    _assert_unified(_fail_both(build), TrapError,
+                    "trap in @kern (team 0, thread 0)")
+
+
+def test_assumption_violation_in_debug_mode():
+    def build():
+        module = Module("m")
+        func, b = make_kernel(module, params=(I64,))
+        b.assume(b.icmp("eq", func.args[0], b.i64(1)))
+        b.ret()
+        verify_module(module)
+        return module
+
+    _assert_unified(_fail_both(build, debug_checks=True, args=(0,)),
+                    AssumptionViolation,
+                    "assumption violated in @kern (team 0, thread 0)")
+
+
+def test_call_stack_overflow():
+    def build():
+        module = Module("m")
+        rec, rb = make_function(module, name="rec", ret=I64, params=(I64,))
+        rb.ret(rb.call(rec, [rb.add(rec.args[0], rb.i64(1))]))
+        func, b = make_kernel(module, params=())
+        b.call(rec, [b.i64(0)])
+        b.ret()
+        verify_module(module)
+        return module
+
+    results = _fail_both(build)
+    (exc_a, ctx_a), (exc_b, ctx_b) = results
+    assert type(exc_a) is type(exc_b) is CallStackOverflow
+    assert str(exc_a) == str(exc_b)
+    assert "call stack overflow in @rec (team 0, thread 0)" in str(exc_a)
+    assert ctx_a == ctx_b
+    # The context names the innermost frame and a 512-deep device stack.
+    assert ctx_a["function"] == "rec"
+    assert len(ctx_a["call_stack"]) > 500
+
+
+def test_context_carries_the_device_output_tail():
+    def build():
+        module = Module("m")
+        func, b = make_kernel(module, params=())
+        for i in range(12):
+            b.intrinsic("rt.print_i64", [b.i64(i)])
+        b.unreachable()
+        verify_module(module)
+        return module
+
+    results = _fail_both(build)
+    (_, ctx_a), (_, ctx_b) = results
+    assert ctx_a == ctx_b
+    # OUTPUT_TAIL_LINES == 8: the tail keeps the *last* prints.
+    assert ctx_a["output_tail"] == [str(i) for i in range(4, 12)]

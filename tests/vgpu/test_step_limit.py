@@ -1,0 +1,61 @@
+"""S2: step-limit accounting is pinned and engine-identical.
+
+A runaway thread must be stopped after *exactly*
+``max_steps_per_thread`` retired steps by both engines, with the same
+frozen message and the same ``steps`` count in the attached context —
+drift here would make StepLimitExceeded CrashReports engine-dependent.
+"""
+
+import pytest
+
+from repro.ir import I64, Module, verify_module
+from repro.vgpu import GPUConfig, StepLimitExceeded, VirtualGPU
+from repro.vgpu.config import ENGINES
+from tests.conftest import make_kernel
+
+LIMIT = 64
+
+
+def _spin_module():
+    """kern(): an infinite counting loop."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    entry = b.block
+    loop = func.add_block("loop")
+    b.br(loop)
+    b.set_insert_point(loop)
+    i = b.phi(I64, "i")
+    i.add_incoming(b.i64(0), entry)
+    ni = b.add(i, b.i64(1))
+    i.add_incoming(ni, loop)
+    b.br(loop)
+    verify_module(module)
+    return module
+
+
+def _limit_hit(engine, sim_jobs=None, teams=1):
+    gpu = VirtualGPU(_spin_module(),
+                     config=GPUConfig(max_steps_per_thread=LIMIT),
+                     engine=engine)
+    with pytest.raises(StepLimitExceeded) as excinfo:
+        gpu.launch("kern", [], teams, 1, sim_jobs=sim_jobs)
+    return excinfo.value
+
+
+def test_message_and_steps_are_engine_identical():
+    results = [_limit_hit(engine) for engine in ENGINES]
+    messages = {str(e) for e in results}
+    assert messages == {
+        f"thread (0,0) exceeded {LIMIT} steps in @kern"}
+    contexts = [e.context.to_dict() for e in results]
+    assert contexts[0] == contexts[1]
+    # The pin: the thread retired exactly LIMIT steps, in both engines.
+    assert contexts[0]["steps"] == LIMIT
+    assert contexts[0]["block"] == "loop"
+
+
+def test_parallel_simulation_reports_the_same_limit():
+    serial = _limit_hit("decoded", teams=2)
+    parallel = _limit_hit("decoded", teams=2, sim_jobs=2)
+    assert str(serial) == str(parallel)
+    assert serial.context.to_dict() == parallel.context.to_dict()

@@ -1,0 +1,55 @@
+"""Wall-clock watchdog for parallel team simulation."""
+
+import pytest
+
+from repro.ir import I64, Module, verify_module
+from repro.vgpu import VirtualGPU, WatchdogExpired
+from tests.conftest import make_kernel
+
+
+def _barrier_loop_module(iterations):
+    """kern(): *iterations* barrier phases — abortable at each one."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    entry = b.block
+    loop = func.add_block("loop")
+    done = func.add_block("done")
+    b.br(loop)
+    b.set_insert_point(loop)
+    i = b.phi(I64, "i")
+    i.add_incoming(b.i64(0), entry)
+    b.barrier()
+    ni = b.add(i, b.i64(1))
+    i.add_incoming(ni, loop)
+    b.cond_br(b.icmp("slt", ni, b.i64(iterations)), loop, done)
+    b.set_insert_point(done)
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def test_watchdog_aborts_a_long_parallel_launch():
+    gpu = VirtualGPU(_barrier_loop_module(500_000))
+    with pytest.raises(WatchdogExpired, match="watchdog"):
+        gpu.launch("kern", [], 2, 2, sim_jobs=2, watchdog_s=0.05)
+
+
+def test_watchdog_env_knob_is_honoured(monkeypatch):
+    monkeypatch.setenv("REPRO_WATCHDOG_S", "0.05")
+    gpu = VirtualGPU(_barrier_loop_module(500_000))
+    with pytest.raises(WatchdogExpired):
+        gpu.launch("kern", [], 2, 2, sim_jobs=2)
+
+
+def test_fast_launch_beats_the_watchdog():
+    gpu = VirtualGPU(_barrier_loop_module(3))
+    profile = gpu.launch("kern", [], 2, 2, sim_jobs=2, watchdog_s=30.0)
+    assert profile.cycles > 0
+
+
+def test_serial_simulation_ignores_the_watchdog():
+    # The watchdog bounds *parallel* simulation only: the serial
+    # reference path stays deterministic and watchdog-free.
+    gpu = VirtualGPU(_barrier_loop_module(3))
+    profile = gpu.launch("kern", [], 2, 2, watchdog_s=1e-9)
+    assert profile.cycles > 0
