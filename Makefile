@@ -1,14 +1,15 @@
 # Convenience targets for the reproduction repo.
 #
 # `make verify` is the one-shot health check: tier-1 tests, the
-# simulator-throughput smoke, the end-to-end tracing smoke and the
-# fault-injection smoke (the same cells run under the `simperf`,
-# `trace` and `faults` pytest markers).
+# simulator-throughput smoke, the end-to-end tracing smoke, the
+# fault-injection smoke and the multi-tenant serving smoke (the same
+# cells run under the `simperf`, `trace`, `faults` and `serve` pytest
+# markers).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify simperf trace faults figures clean
+.PHONY: test verify simperf trace faults serve figures clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -17,6 +18,7 @@ verify: test
 	$(PYTHON) -m repro.bench simperf --quick --out -
 	$(PYTHON) -m repro.bench trace --smoke
 	$(PYTHON) -m repro.bench faults --smoke
+	$(PYTHON) -m repro.bench serve --smoke --out -
 	@echo "verify: OK"
 
 simperf:
@@ -27,6 +29,9 @@ trace:
 
 faults:
 	$(PYTHON) -m repro.bench faults
+
+serve:
+	$(PYTHON) -m repro.bench serve
 
 figures:
 	$(PYTHON) -m repro.bench all

@@ -18,7 +18,7 @@ from repro.frontend import ast as A
 from repro.frontend.driver import CompileOptions, compile_program
 from repro.ir.types import F64, I64, PTR
 from repro.runtime.config import DEBUG_ASSERTIONS, DEBUG_FUNCTION_TRACING
-from repro.vgpu import TrapError, VirtualGPU
+from repro.vgpu import LaunchSpec, TrapError, VirtualGPU
 
 
 def build_program() -> A.Program:
@@ -41,10 +41,12 @@ def build_program() -> A.Program:
 def launch(compiled, scale, env=None):
     gpu = VirtualGPU(compiled.module, env=env)
     data = gpu.alloc_array(np.ones(64))
-    args = compiled.abi("normalize").marshal(
-        gpu, {"data": data, "scale": scale, "n": 64})
-    profile = gpu.launch("normalize", args, 2, 32)
-    return profile
+    spec = LaunchSpec(
+        kernel="normalize", num_teams=2, threads_per_team=32,
+        args=compiled.abi("normalize").marshal(
+            gpu, {"data": data, "scale": scale, "n": 64}),
+    )
+    return gpu.run(spec).profile
 
 
 def main() -> None:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.ir import parse_module, print_module, verify_module
 from repro.passes import PipelineConfig, run_openmp_opt_pipeline
-from repro.vgpu import VirtualGPU
+from repro.vgpu import LaunchSpec, VirtualGPU
 
 KERNEL_TEXT = """; module playground
 @state = internal addrspace(3) global i32 zeroinitializer
@@ -53,7 +53,9 @@ declare void @llvm.assume(i1 %cond) readnone
 def run(module, label):
     gpu = VirtualGPU(module)
     out = gpu.alloc_array(np.zeros(8, dtype=np.int64))
-    profile = gpu.launch("kern", [out, 8], 1, 8)
+    spec = LaunchSpec(kernel="kern", num_teams=1, threads_per_team=8,
+                      args=(out, 8))
+    profile = gpu.run(spec).profile
     values = list(gpu.read_array(out, np.int64, 8))
     print(f"{label}: cycles={profile.cycles}, barriers={profile.barriers}, "
           f"smem={profile.shared_memory_bytes}B, out={values}")

@@ -15,7 +15,7 @@ from repro.frontend import ast as A
 from repro.ir.types import F64, I64, PTR
 from repro.bench.builds import BUILD_ORDER, build_options
 from repro.toolchain import ToolchainSession
-from repro.vgpu import VirtualGPU
+from repro.vgpu import LaunchSpec, VirtualGPU
 
 TEAMS, THREADS, N = 8, 32, 256
 
@@ -60,9 +60,12 @@ def main() -> None:
         compiled = session.compile(program, options)
         gpu = VirtualGPU(compiled.module)
         px, py = gpu.alloc_array(x), gpu.alloc_array(y0)
-        args = compiled.abi("saxpy").marshal(
-            gpu, {"x": px, "y": py, "a": 2.5, "n": N})
-        profile = gpu.launch("saxpy", args, TEAMS, THREADS)
+        spec = LaunchSpec(
+            kernel="saxpy", num_teams=TEAMS, threads_per_team=THREADS,
+            args=compiled.abi("saxpy").marshal(
+                gpu, {"x": px, "y": py, "a": 2.5, "n": N}),
+        )
+        profile = gpu.run(spec).profile
         got = gpu.read_array(py, np.float64, N)
         ok = np.allclose(got, expected)
         print(f"{build:28s} {profile.cycles:8d} {profile.registers:5d} "

@@ -23,7 +23,7 @@ import numpy as np
 from repro.frontend import ast as A
 from repro.frontend.driver import CompileOptions, CompiledProgram, compile_program
 from repro.ir.types import F64, I64
-from repro.vgpu import GPUConfig, KernelProfile, VirtualGPU
+from repro.vgpu import GPUConfig, KernelProfile, LaunchSpec, VirtualGPU
 
 #: (host_args, verify(gpu, host_args) -> max abs error)
 PreparedInputs = Tuple[Dict[str, Any], Callable[[VirtualGPU, Dict[str, Any]], float]]
@@ -99,8 +99,13 @@ def run_proxy_app(
     :func:`repro.vgpu.resolve_sim_engine`); ``sim_jobs`` simulates
     teams on that many worker threads (profiles are unchanged).
     ``sanitize``/``faults``/``watchdog_s`` thread through to
-    :class:`VirtualGPU`/``launch`` (robustness knobs; see README
-    "Robustness").
+    :class:`VirtualGPU`/:class:`~repro.vgpu.LaunchSpec` (robustness
+    knobs; see README "Robustness").
+
+    The launch goes through the request-object API: per-launch knobs
+    travel in a :class:`~repro.vgpu.LaunchSpec` executed by
+    ``VirtualGPU.run``, with only the device-scoped ones (sanitizer,
+    debug checks, environment) on the device itself.
     """
     compiled = compile_program(program, options)
     gpu = VirtualGPU(
@@ -108,14 +113,20 @@ def run_proxy_app(
         config=gpu_config or GPUConfig(),
         debug_checks=debug_checks,
         env=env,
-        engine=engine,
         sanitize=sanitize,
-        faults=faults,
     )
     host_args, verify = prepare(gpu, size)
-    args = compiled.abi(kernel).marshal(gpu, host_args)
-    profile = gpu.launch(kernel, args, num_teams, threads_per_team,
-                         sim_jobs=sim_jobs, watchdog_s=watchdog_s)
+    spec = LaunchSpec(
+        kernel=kernel,
+        num_teams=num_teams,
+        threads_per_team=threads_per_team,
+        args=tuple(compiled.abi(kernel).marshal(gpu, host_args)),
+        sim_jobs=sim_jobs,
+        watchdog_s=watchdog_s,
+        engine=engine,
+        faults=faults,
+    )
+    profile = gpu.run(spec).profile
     max_error = verify(gpu, host_args)
     return AppRunResult(
         app=app_name,

@@ -12,6 +12,8 @@ Usage::
     python -m repro.bench trace   [--app APP] [--build BUILD] [--out PATH]
                                   [--metrics-out PATH] [--smoke]
     python -m repro.bench faults  [--smoke] [--json]
+    python -m repro.bench serve   [--tenants N] [--requests N] [--workers N]
+                                  [--smoke] [--json] [--out PATH]
     python -m repro.bench json     (machine-readable full report)
     python -m repro.bench all      [--jobs N]
 
@@ -29,6 +31,13 @@ JSON plus a flat metrics JSON (see README "Observability");
 (testsnap at ``-O0`` across both engines and ``sim_jobs=2``; see
 README "Robustness") and exits non-zero on any determinism or
 degradation failure; ``--smoke`` keeps the three cheapest scenarios.
+
+``serve`` load-tests the :mod:`repro.serve` multi-tenant simulation
+service: ``--tenants`` concurrent threads each submit ``--requests``
+launches from a fixed (app, engine, sim_jobs) mix, and the report —
+throughput plus p50/p95/p99 latency and queue-wait percentiles — is
+written to ``BENCH_serve.json``; ``--smoke`` runs one request per
+tenant (fast; used by ``make verify``).
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent (app, build) cells of each figure out over N worker
@@ -48,7 +57,7 @@ from repro.bench.harness import APPS
 
 COMMANDS = (
     "fig10", "fig11", "fig12", "fig13", "oversub", "timings", "simperf",
-    "trace", "faults", "json", "all",
+    "trace", "faults", "serve", "json", "all",
 )
 
 
@@ -101,7 +110,21 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--smoke", action="store_true",
         help="trace: run the fixed fast (app, build) smoke cell; "
-             "faults: run the reduced scenario set",
+             "faults: run the reduced scenario set; "
+             "serve: one request per tenant",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=8,
+        help="serve: concurrent tenant threads (default 8)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=3,
+        help="serve: requests per tenant (default 3)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="serve: service worker threads "
+             "(default: REPRO_SERVE_WORKERS or 4)",
     )
     return parser
 
@@ -177,6 +200,23 @@ def main(argv) -> int:
         else:
             print(faults_cli.format_faults(report))
         if not report["ok"]:
+            return 1
+    if what == "serve":
+        from repro.bench import serve_cli
+
+        report = serve_cli.serve_load(
+            tenants=args.tenants,
+            requests=1 if args.smoke else args.requests,
+            workers=args.workers,
+        )
+        out = args.out if args.out is not None else serve_cli.DEFAULT_OUTPUT
+        if out != "-":
+            serve_cli.write_report(report, out)
+        if args.as_json:
+            print(serve_cli.render_json(report))
+        else:
+            print(serve_cli.format_serve(report))
+        if report["totals"]["errors"]:
             return 1
     if what == "json":
         from repro.bench.report import render_json

@@ -29,7 +29,13 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.bench.builds import BUILD_ORDER, CUDA, build_options
 from repro.bench.harness import APPS, SKIP_CUDA
 from repro.toolchain.service import ToolchainSession
-from repro.vgpu import ENGINE_DECODED, ENGINE_LEGACY, GPUConfig, VirtualGPU
+from repro.vgpu import (
+    ENGINE_DECODED,
+    ENGINE_LEGACY,
+    GPUConfig,
+    LaunchSpec,
+    VirtualGPU,
+)
 
 #: Default output file, committed at the repo root so engine-throughput
 #: regressions show up in review.
@@ -55,11 +61,15 @@ def measure_cell(
     for _ in range(max(1, repeats)):
         gpu = VirtualGPU(compiled.module, config=GPUConfig(), engine=engine)
         host_args, _verify = app.prepare(gpu, size)
-        args = compiled.abi(app.KERNEL).marshal(gpu, host_args)
-        t0 = time.perf_counter()
-        profile = gpu.launch(
-            app.KERNEL, args, app.TEAMS, app.THREADS, sim_jobs=sim_jobs
+        spec = LaunchSpec(
+            kernel=app.KERNEL,
+            num_teams=app.TEAMS,
+            threads_per_team=app.THREADS,
+            args=tuple(compiled.abi(app.KERNEL).marshal(gpu, host_args)),
+            sim_jobs=sim_jobs,
         )
+        t0 = time.perf_counter()
+        profile = gpu.run(spec).profile
         best = min(best, time.perf_counter() - t0)
     best = max(best, 1e-9)
     return {

@@ -28,7 +28,7 @@ from repro.trace.export import (
     write_chrome_trace,
     write_metrics,
 )
-from repro.vgpu import GPUConfig, VirtualGPU
+from repro.vgpu import GPUConfig, LaunchSpec, VirtualGPU
 
 #: Cell used by ``--smoke`` (fast, CI-friendly).
 SMOKE_APP = "testsnap"
@@ -84,11 +84,15 @@ def run_trace(
             )
             with collector.span("bench.prepare", cat="bench", app=app_name):
                 host_args, verify = app.prepare(gpu, size)
-                args = compiled.abi(app.KERNEL).marshal(gpu, host_args)
-            with collector.span("bench.launch", cat="bench", kernel=app.KERNEL):
-                profile = gpu.launch(
-                    app.KERNEL, args, app.TEAMS, app.THREADS, sim_jobs=sim_jobs
+                spec = LaunchSpec(
+                    kernel=app.KERNEL,
+                    num_teams=app.TEAMS,
+                    threads_per_team=app.THREADS,
+                    args=tuple(compiled.abi(app.KERNEL).marshal(gpu, host_args)),
+                    sim_jobs=sim_jobs,
                 )
+            with collector.span("bench.launch", cat="bench", kernel=app.KERNEL):
+                profile = gpu.run(spec).profile
             max_error = verify(gpu, host_args)
 
     doc = chrome_trace(collector)

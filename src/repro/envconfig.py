@@ -38,8 +38,17 @@ Knobs
     Set truthy to run the vgpu memory/divergence sanitizer
     (``VirtualGPU(sanitize=True)``); off by default.
 ``REPRO_WATCHDOG_S``
-    Wall-clock watchdog (seconds, float) for parallel team simulation;
-    ``0`` (the default) disables it.
+    Wall-clock watchdog (seconds, float) for team simulation (serial
+    and parallel); ``0`` (the default) disables it.
+``REPRO_SERVE_WORKERS``
+    Worker threads of a :class:`repro.serve.SimulationService`
+    (default 4).
+``REPRO_SERVE_QUEUE``
+    Admitted-but-not-yet-running requests a service will hold beyond
+    its workers (default 16).
+``REPRO_SERVE_MAX_INFLIGHT``
+    Hard cap on unfinished requests per service; ``0`` (the default)
+    derives the cap as workers + queue depth.
 """
 
 from __future__ import annotations
@@ -89,7 +98,13 @@ KNOBS: Dict[str, EnvKnob] = {
         EnvKnob("REPRO_SANITIZE", "flag", "0",
                 "enable the vgpu memory/divergence sanitizer"),
         EnvKnob("REPRO_WATCHDOG_S", "float", "0",
-                "wall-clock watchdog for parallel team simulation (s)"),
+                "wall-clock watchdog for team simulation (s)"),
+        EnvKnob("REPRO_SERVE_WORKERS", "int", "4",
+                "worker threads of a repro.serve SimulationService"),
+        EnvKnob("REPRO_SERVE_QUEUE", "int", "16",
+                "queued requests a service holds beyond its workers"),
+        EnvKnob("REPRO_SERVE_MAX_INFLIGHT", "int", "0",
+                "hard cap on unfinished served requests (0 = derived)"),
     )
 }
 
@@ -187,8 +202,21 @@ def sanitize_enabled() -> bool:
 
 
 def watchdog_s() -> float:
-    """Parallel-simulation watchdog in seconds (0 = disabled)."""
+    """Team-simulation watchdog in seconds (0 = disabled)."""
     return max(0.0, env_float("REPRO_WATCHDOG_S"))
+
+
+def serve_workers() -> int:
+    return max(1, env_int("REPRO_SERVE_WORKERS"))
+
+
+def serve_queue() -> int:
+    return max(0, env_int("REPRO_SERVE_QUEUE"))
+
+
+def serve_max_in_flight() -> int:
+    """0 means "derive from workers + queue depth"."""
+    return max(0, env_int("REPRO_SERVE_MAX_INFLIGHT"))
 
 
 def describe_env() -> str:

@@ -31,6 +31,7 @@ from repro.faults.report import CrashReport
 from repro.memory.memmodel import MemoryError_
 from repro.vgpu.config import ENGINE_LEGACY, resolve_sim_engine
 from repro.vgpu.errors import SimulationError
+from repro.vgpu.launchspec import LaunchSpec
 
 #: Exception classes that are failures *of the simulated program* (or
 #: of an injected fault plan), as opposed to failures of the simulator.
@@ -57,38 +58,51 @@ class GuardedOutcome:
     retried: bool = False
 
 
-def _launch(gpu, kernel, args, num_teams, threads_per_team,
-            sim_jobs, watchdog_s):
-    return gpu.launch(kernel, args, num_teams, threads_per_team,
-                      sim_jobs=sim_jobs, watchdog_s=watchdog_s)
+def _launch(gpu, spec: LaunchSpec, args):
+    """Run *spec* (rebound to *args*) and return the profile."""
+    return gpu.run(spec.replace(args=tuple(args))).profile
 
 
 def run_guarded(
     make_gpu: Callable[[str], object],
     make_args: Callable[[object], Sequence],
-    kernel: str,
-    num_teams: int,
-    threads_per_team: int,
+    kernel: Optional[str] = None,
+    num_teams: Optional[int] = None,
+    threads_per_team: Optional[int] = None,
     *,
+    spec: Optional[LaunchSpec] = None,
     engine: Optional[str] = None,
     sim_jobs: Optional[int] = None,
     watchdog_s: Optional[float] = None,
     save_report: bool = True,
     report_dir: Optional[str] = None,
 ) -> GuardedOutcome:
-    """Launch *kernel* with crash reporting and engine fallback.
+    """Launch with crash reporting and engine fallback.
 
     ``make_gpu(engine)`` must return a fresh device configured for
     *engine*; ``make_args(gpu)`` prepares the kernel arguments on that
-    device.  *kernel* is the kernel name (or a Function of the module
-    every ``make_gpu`` result loads).
+    device.  The launch is described either by an explicit
+    :class:`~repro.vgpu.LaunchSpec` (``spec=``; its ``args`` are
+    rebound per device via ``make_args``) or by the positional
+    ``kernel``/``num_teams``/``threads_per_team`` shorthand, from which
+    a spec is built internally.
     """
-    engine = resolve_sim_engine(engine)
+    if spec is None:
+        if kernel is None or num_teams is None or threads_per_team is None:
+            raise TypeError(
+                "run_guarded() needs spec= or kernel/num_teams/threads_per_team")
+        spec = LaunchSpec(kernel=kernel, num_teams=num_teams,
+                          threads_per_team=threads_per_team,
+                          sim_jobs=sim_jobs, watchdog_s=watchdog_s)
+    elif sim_jobs is not None or watchdog_s is not None:
+        raise TypeError("pass sim_jobs/watchdog_s inside spec=, not alongside it")
+    kernel = spec.kernel
+    engine = resolve_sim_engine(engine if engine is not None else spec.engine)
+    spec = spec.replace(engine=None)  # the device carries the engine here
     gpu = make_gpu(engine)
     args = make_args(gpu)
     try:
-        profile = _launch(gpu, kernel, args, num_teams, threads_per_team,
-                          sim_jobs, watchdog_s)
+        profile = _launch(gpu, spec, args)
         return GuardedOutcome(ok=True, profile=profile, engine=engine)
     except PROGRAM_FAULTS as exc:
         report = _report(exc, gpu, kernel, engine)
@@ -112,8 +126,7 @@ def run_guarded(
     gpu = make_gpu(ENGINE_LEGACY)
     args = make_args(gpu)
     try:
-        profile = _launch(gpu, kernel, args, num_teams, threads_per_team,
-                          sim_jobs, watchdog_s)
+        profile = _launch(gpu, spec, args)
         path = report.save(report_dir) if save_report else None
         return GuardedOutcome(ok=True, profile=profile, report=report,
                               report_path=path, engine=ENGINE_LEGACY,

@@ -155,6 +155,64 @@ class MemorySystem:
         #: segments are the same size, so launches zero in place instead
         #: of allocating a fresh ``bytes`` per team.
         self._shared_zeros = bytes(shared_size)
+        #: Post-load device image captured by :meth:`snapshot_device_image`
+        #: (segment -> (brk, high_water, data-prefix, allocations)).
+        self._device_image: Optional[Dict[str, Tuple[int, int, bytes, Dict[int, int]]]] = None
+        #: Cached zero buffers for in-place segment restores, keyed by
+        #: tail length (avoids a fresh multi-MB ``bytes`` per reset).
+        self._zero_tails: Dict[int, bytes] = {}
+
+    # -- warm-reset support -------------------------------------------------------
+
+    def snapshot_device_image(self) -> None:
+        """Capture the global/constant segment state as the reset image.
+
+        Called once after module load (globals materialized, environment
+        applied): :meth:`reset_device_image` rewinds to exactly this
+        point, which is what makes a warm device reusable across
+        requests without re-running module load.
+        """
+        self._device_image = {
+            "global": self._snapshot_segment(self.global_seg),
+            "constant": self._snapshot_segment(self.constant_seg),
+        }
+
+    @staticmethod
+    def _snapshot_segment(seg: Segment) -> Tuple[int, int, bytes, Dict[int, int]]:
+        return (seg.brk, seg.high_water, bytes(seg.data[: seg.brk]),
+                dict(seg.allocations))
+
+    def _restore_segment(
+        self, seg: Segment, snap: Tuple[int, int, bytes, Dict[int, int]]
+    ) -> None:
+        brk, high_water, prefix, allocations = snap
+        seg.data[:brk] = prefix
+        tail = len(seg.data) - brk
+        if tail:
+            zeros = self._zero_tails.get(tail)
+            if zeros is None:
+                zeros = self._zero_tails.setdefault(tail, bytes(tail))
+            seg.data[brk:] = zeros
+        seg.brk = brk
+        seg.high_water = high_water
+        seg.allocations = dict(allocations)
+
+    def reset_device_image(self) -> None:
+        """Restore the image captured by :meth:`snapshot_device_image`.
+
+        Global and constant segments rewind byte-for-byte (discarding
+        host ``alloc_array`` data, device mallocs and kernel-visible
+        global mutations); shared and local segments are dropped and
+        recreated lazily on the next launch.
+        """
+        if self._device_image is None:
+            raise MemoryError_(
+                "no device image captured; snapshot_device_image() first"
+            )
+        self._restore_segment(self.global_seg, self._device_image["global"])
+        self._restore_segment(self.constant_seg, self._device_image["constant"])
+        self.shared_segs.clear()
+        self.local_segs.clear()
 
     # -- segment management -----------------------------------------------------
 

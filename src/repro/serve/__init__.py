@@ -1,0 +1,21 @@
+"""Multi-tenant async simulation service over the request-object API.
+
+See :mod:`repro.serve.service` for the architecture overview and the
+README "Serving" section for usage.
+"""
+
+from repro.serve.errors import (  # noqa: F401
+    AdmissionRejected,
+    ServeError,
+    ServiceClosed,
+)
+from repro.serve.pool import DevicePool, PoolStats  # noqa: F401
+from repro.serve.service import (  # noqa: F401
+    ServeJob,
+    ServeStats,
+    SimulationService,
+    resolve_serve_max_in_flight,
+    resolve_serve_queue,
+    resolve_serve_workers,
+)
+from repro.vgpu.launchspec import LaunchResult, LaunchSpec  # noqa: F401

@@ -1,0 +1,48 @@
+"""Structured errors raised at the serving layer.
+
+These are *host-side* failures of the service machinery (admission,
+lifecycle), deliberately disjoint from the simulator's
+:class:`~repro.vgpu.errors.SimulationError` hierarchy: a rejected or
+misrouted request never gets far enough to have device context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServeError(RuntimeError):
+    """Base class for serve-layer failures."""
+
+
+class AdmissionRejected(ServeError):
+    """The service is saturated: the request was refused at submission.
+
+    Carries the admission state so load generators and clients can make
+    structured back-off decisions instead of parsing a message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        in_flight: int,
+        capacity: int,
+        request_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.in_flight = in_flight
+        self.capacity = capacity
+        self.request_id = request_id
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "AdmissionRejected",
+            "in_flight": self.in_flight,
+            "capacity": self.capacity,
+            "request_id": self.request_id,
+        }
+
+
+class ServiceClosed(ServeError):
+    """The service has been shut down; no further submissions accepted."""

@@ -1,0 +1,122 @@
+"""Warm-device pooling for the simulation service.
+
+Building a :class:`~repro.vgpu.VirtualGPU` is the expensive part of a
+request: module load materializes globals, and the first launch decodes
+every kernel into micro-op arrays.  The pool keeps finished devices
+warm — :meth:`repro.vgpu.VirtualGPU.reset_device` rewinds the memory
+image to its post-load state while the per-device decode bindings
+survive — so repeat requests against the same module skip both costs.
+
+Sanitized devices are never pooled: the shadow-memory state is
+launch-scoped and cheaper to rebuild than to audit, so
+``sanitize=True`` requests always get a fresh device.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.vgpu import DEFAULT_CONFIG, GPUConfig, VirtualGPU
+
+
+@dataclass
+class PoolStats:
+    """Build/reuse accounting for one :class:`DevicePool`."""
+
+    builds: int = 0
+    reuses: int = 0
+    discards: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"builds": self.builds, "reuses": self.reuses,
+                "discards": self.discards}
+
+
+def _pool_key(module, config, env) -> Tuple:
+    # Modules and configs are compared by identity: the serve layer
+    # compiles through the content-addressed cache, so equal requests
+    # share one module object.  A None config means "the default" and
+    # must key identically however often it is defaulted.  ``env``
+    # writes device globals at build time and must therefore key the
+    # warm image too.
+    env_key = tuple(sorted(env.items())) if env else ()
+    return (id(module), id(config) if config is not None else 0, env_key)
+
+
+@dataclass
+class DevicePool:
+    """Bounded pool of warm, reset :class:`VirtualGPU` devices.
+
+    ``acquire`` returns a device exclusively to the caller; ``release``
+    resets it and shelves it for reuse (or discards it beyond
+    ``max_idle_per_key``).  Thread-safe: the serve worker pool calls
+    into one shared instance.
+    """
+
+    max_idle_per_key: int = 4
+    stats: PoolStats = field(default_factory=PoolStats)
+    _idle: Dict[Tuple, List[VirtualGPU]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def acquire(
+        self,
+        module,
+        config: Optional[GPUConfig] = None,
+        *,
+        sanitize: bool = False,
+        env: Optional[Dict[str, int]] = None,
+    ) -> VirtualGPU:
+        """A warm (or freshly built) device for *module*.
+
+        The returned device has the default engine and no fault plan —
+        per-request overrides travel in the :class:`~repro.vgpu.
+        LaunchSpec` instead, which is what makes one warm device
+        reusable across tenants with different knobs.
+        """
+        if not sanitize:
+            key = _pool_key(module, config, env)
+            with self._lock:
+                shelf = self._idle.get(key)
+                if shelf:
+                    self.stats.reuses += 1
+                    return shelf.pop()
+        with self._lock:
+            self.stats.builds += 1
+        return VirtualGPU(module, config=config or DEFAULT_CONFIG,
+                          sanitize=sanitize, env=env)
+
+    def release(self, gpu: VirtualGPU, module, config, env=None) -> None:
+        """Reset *gpu* and shelve it for reuse (discard when not
+        resettable or the shelf is full)."""
+        if not gpu.resettable:
+            with self._lock:
+                self.stats.discards += 1
+            return
+        try:
+            gpu.reset_device()
+        except Exception:
+            with self._lock:
+                self.stats.discards += 1
+            return
+        key = _pool_key(module, config, env)
+        with self._lock:
+            shelf = self._idle.setdefault(key, [])
+            if len(shelf) >= self.max_idle_per_key:
+                self.stats.discards += 1
+                return
+            shelf.append(gpu)
+
+    def discard(self, gpu: VirtualGPU) -> None:
+        """Drop *gpu* without reuse (e.g. after an internal engine fault)."""
+        with self._lock:
+            self.stats.discards += 1
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(s) for s in self._idle.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._idle.clear()

@@ -1,0 +1,479 @@
+"""``repro.serve`` — the multi-tenant async simulation service.
+
+:class:`SimulationService` accepts many concurrent compile+run requests
+described by :class:`~repro.vgpu.LaunchSpec` and multiplexes them over
+a persistent worker pool:
+
+* **Admission control** — at most ``workers + queue_depth`` requests
+  (capped by ``max_in_flight``) may be unfinished at once; beyond that
+  ``submit()`` raises a structured :class:`~repro.serve.errors.
+  AdmissionRejected` instead of queueing unboundedly or blocking.
+* **Shared compilation** — requests compile through one
+  :class:`~repro.toolchain.service.ToolchainSession` (the
+  content-addressed compile cache), and the service additionally
+  memoizes the live ``CompiledProgram`` per fingerprint so concurrent
+  tenants share one module object — which is what lets the
+  :class:`~repro.serve.pool.DevicePool` hand the same warm devices to
+  all of them.
+* **Warm devices** — finished devices are reset (not rebuilt) and
+  reused; decode bindings survive across requests.
+* **Failure isolation** — a program fault (trap, sanitizer diagnostic,
+  injected fault, watchdog) becomes an ``ok=False``
+  :class:`~repro.vgpu.LaunchResult` carrying a deduplicated
+  :class:`~repro.faults.report.CrashReport`; it never leaks as an
+  exception into other tenants.  An *internal* decoded-engine fault
+  triggers one retry on a fresh legacy device, exactly like
+  :func:`repro.faults.run_guarded`.
+* **Traceability** — when the :mod:`repro.trace` collector is active,
+  every request's id is threaded from the ``serve.submit`` instant
+  through the ``serve.request`` span into the device timeline.
+
+Results are bit-identical to a direct ``VirtualGPU.run(spec)`` of the
+same spec — profiles, traces and fault firing — pinned by
+``tests/serve/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro import envconfig
+from repro.faults.harness import PROGRAM_FAULTS
+from repro.faults.report import CrashReport
+from repro.serve.errors import AdmissionRejected, ServiceClosed
+from repro.serve.pool import DevicePool
+from repro.toolchain.service import ToolchainSession
+from repro.trace.collector import active_or_none as _active_trace
+from repro.vgpu import (
+    ENGINE_LEGACY,
+    GPUConfig,
+    LaunchResult,
+    LaunchSpec,
+    VirtualGPU,
+    resolve_sim_engine,
+)
+
+#: ``make_args`` callback: bind kernel arguments against the device the
+#: request landed on (args usually embed device pointers, so they must
+#: be produced per device).  ``compiled`` is the CompiledProgram for
+#: program submissions, or None for raw-module submissions.
+MakeArgs = Callable[[VirtualGPU, Optional[object]], Sequence[Any]]
+
+#: ``finalize`` callback: runs in-worker after a successful launch,
+#: while the request still owns the device (e.g. app verification);
+#: its return value lands in ``LaunchResult.payload``.
+Finalize = Callable[[VirtualGPU, LaunchResult], Any]
+
+
+def resolve_serve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit, else ``REPRO_SERVE_WORKERS``."""
+    if workers is None:
+        workers = envconfig.serve_workers()
+    return max(1, int(workers))
+
+
+def resolve_serve_queue(queue_depth: Optional[int] = None) -> int:
+    """Effective queue depth: explicit, else ``REPRO_SERVE_QUEUE``."""
+    if queue_depth is None:
+        queue_depth = envconfig.serve_queue()
+    return max(0, int(queue_depth))
+
+
+def resolve_serve_max_in_flight(limit: Optional[int] = None) -> int:
+    """Effective admission cap: explicit, else ``REPRO_SERVE_MAX_INFLIGHT``
+    (0 = derive from workers + queue depth)."""
+    if limit is None:
+        limit = envconfig.serve_max_in_flight()
+    return max(0, int(limit))
+
+
+@dataclass
+class ServeStats:
+    """Request accounting for one service instance."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0       # program faults (ok=False results)
+    retried: int = 0      # decoded->legacy internal-fault fallbacks
+    compiles: int = 0     # distinct fingerprints compiled/materialized
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "compiles": self.compiles,
+        }
+
+
+class ServeJob:
+    """Handle for one admitted request."""
+
+    def __init__(self, request_id: str, spec: LaunchSpec,
+                 submitted_s: float) -> None:
+        self.request_id = request_id
+        self.spec = spec
+        self.submitted_s = submitted_s
+        self.future: "Future[LaunchResult]" = Future()
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> LaunchResult:
+        """The request's :class:`LaunchResult`.
+
+        Program faults come back as ``ok=False`` results; only internal
+        failures of the legacy reference engine (or a timeout here)
+        raise.
+        """
+        return self.future.result(timeout)
+
+
+class _Request:
+    """Internal: everything a worker needs to execute one job."""
+
+    __slots__ = ("job", "program", "options", "module", "make_args", "finalize")
+
+    def __init__(self, job, program, options, module, make_args, finalize):
+        self.job = job
+        self.program = program
+        self.options = options
+        self.module = module
+        self.make_args = make_args
+        self.finalize = finalize
+
+
+class SimulationService:
+    """Multi-tenant async front end over the virtual-GPU stack.
+
+    Use as a context manager (or call :meth:`close`); in-flight
+    requests drain on close.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+        session: Optional[ToolchainSession] = None,
+        gpu_config: Optional[GPUConfig] = None,
+        pool: Optional[DevicePool] = None,
+        save_reports: bool = False,
+        report_dir: Optional[str] = None,
+    ) -> None:
+        self.workers = resolve_serve_workers(workers)
+        self.queue_depth = resolve_serve_queue(queue_depth)
+        limit = resolve_serve_max_in_flight(max_in_flight)
+        derived = self.workers + self.queue_depth
+        #: Admission capacity: unfinished requests beyond this are
+        #: rejected at submit() time.
+        self.capacity = min(limit, derived) if limit else derived
+        self.session = session or ToolchainSession()
+        self.gpu_config = gpu_config or GPUConfig()
+        self.pool = pool or DevicePool()
+        self.save_reports = save_reports
+        self.report_dir = report_dir
+        self.stats = ServeStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve")
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+        self._ids = itertools.count(1)
+        #: fingerprint -> CompiledProgram: the live-object complement of
+        #: the pickled compile cache, shared across tenants so the
+        #: device pool sees one module object per distinct compile.
+        self._compiled: Dict[str, object] = {}
+        self._compile_locks: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------ lifecycle --
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting requests and (by default) drain in-flight ones."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    # ------------------------------------------------------------ submission --
+
+    def submit(
+        self,
+        spec: LaunchSpec,
+        *,
+        program: Optional[object] = None,
+        options: Optional[object] = None,
+        module: Optional[object] = None,
+        make_args: Optional[MakeArgs] = None,
+        finalize: Optional[Finalize] = None,
+    ) -> ServeJob:
+        """Admit one request; returns its :class:`ServeJob` handle.
+
+        Exactly one of *module* (a pre-built IR module) or *program*
+        (a frontend program, compiled in-worker through the shared
+        cache with *options*) must be given.  ``spec.args`` is used
+        verbatim unless *make_args* rebinds arguments per device.
+
+        Raises :class:`AdmissionRejected` when the service is
+        saturated and :class:`ServiceClosed` after :meth:`close`.
+        """
+        if (module is None) == (program is None):
+            raise ValueError("submit() needs exactly one of module= or program=")
+        rid = spec.request_id
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is closed; no new requests")
+            if self._in_flight >= self.capacity:
+                self.stats.rejected += 1
+                raise AdmissionRejected(
+                    f"service saturated: {self._in_flight} in flight "
+                    f">= capacity {self.capacity}",
+                    in_flight=self._in_flight,
+                    capacity=self.capacity,
+                    request_id=rid,
+                )
+            self._in_flight += 1
+            self.stats.submitted += 1
+            if rid is None:
+                rid = f"r{next(self._ids):06d}"
+        spec = spec if spec.request_id == rid else spec.replace(request_id=rid)
+        job = ServeJob(rid, spec, time.monotonic())
+        trace = _active_trace()
+        if trace is not None:
+            trace.instant("serve.submit", cat="serve", request_id=rid,
+                          kernel=spec.kernel_name, tag=spec.tag)
+        request = _Request(job, program, options, module, make_args, finalize)
+        try:
+            self._executor.submit(self._run_request, request)
+        except RuntimeError:  # executor shut down between checks
+            with self._lock:
+                self._in_flight -= 1
+            raise ServiceClosed("service is closed; no new requests") from None
+        return job
+
+    def run(self, spec: LaunchSpec, **kwargs: Any) -> LaunchResult:
+        """Submit and wait — the one-call convenience wrapper."""
+        return self.submit(spec, **kwargs).result()
+
+    def submit_app(
+        self,
+        app_name: str,
+        *,
+        options: Optional[object] = None,
+        build: Optional[str] = None,
+        size: Optional[Dict[str, int]] = None,
+        verify: bool = True,
+        spec: Optional[LaunchSpec] = None,
+        **spec_overrides: Any,
+    ) -> ServeJob:
+        """Submit one proxy-app run (compile + prepare + launch [+ verify]).
+
+        *build* names a build configuration (default: the paper's
+        baseline order head) unless explicit *options* are given.
+        Keyword *spec_overrides* (engine=, sim_jobs=, request_id=, ...)
+        refine the app's default grid spec.  With ``verify=True`` the
+        result's ``payload`` carries ``{"max_error": ...}`` computed
+        in-worker against the NumPy reference.
+        """
+        from repro.bench.builds import BUILD_ORDER, build_options
+        from repro.bench.harness import APPS
+
+        if app_name not in APPS:
+            raise KeyError(f"unknown app {app_name!r}; pick one of {sorted(APPS)}")
+        app = APPS[app_name]
+        size = size or app.default_size()
+        if options is None:
+            options = build_options()[build if build is not None else BUILD_ORDER[0]]
+        elif build is not None:
+            raise ValueError("submit_app() takes options= or build=, not both")
+        if spec is None:
+            spec = LaunchSpec(kernel=app.KERNEL, num_teams=app.TEAMS,
+                              threads_per_team=app.THREADS)
+        if spec_overrides:
+            spec = spec.replace(**spec_overrides)
+
+        holder: Dict[str, Any] = {}
+
+        def make_args(gpu: VirtualGPU, compiled) -> Sequence[Any]:
+            host_args, verify_fn = app.prepare(gpu, size)
+            holder["verify"] = (verify_fn, host_args)
+            return compiled.abi(app.KERNEL).marshal(gpu, host_args)
+
+        def finalize(gpu: VirtualGPU, result: LaunchResult) -> Any:
+            verify_fn, host_args = holder.pop("verify")
+            return {"max_error": verify_fn(gpu, host_args)}
+
+        return self.submit(
+            spec,
+            program=app.build_program(size),
+            options=options,
+            make_args=make_args,
+            finalize=finalize if verify else None,
+        )
+
+    # ------------------------------------------------------------- workers --
+
+    def _compile_shared(self, program, options):
+        """Compile through the session cache, memoizing the live object
+        per fingerprint so all tenants share one module."""
+        from repro.frontend.driver import CompileOptions
+        from repro.toolchain.fingerprint import compile_fingerprint
+
+        options = options or CompileOptions()
+        key = compile_fingerprint(program, options)
+        with self._lock:
+            compiled = self._compiled.get(key)
+            if compiled is not None:
+                return compiled
+            lock = self._compile_locks.setdefault(key, threading.Lock())
+        with lock:  # serialize per fingerprint, not globally
+            with self._lock:
+                compiled = self._compiled.get(key)
+            if compiled is None:
+                compiled = self.session.compile(program, options)
+                with self._lock:
+                    self._compiled[key] = compiled
+                    self.stats.compiles += 1
+        return compiled
+
+    def _run_request(self, request: _Request) -> None:
+        job = request.job
+        try:
+            result = self._execute(request)
+        except BaseException as exc:
+            with self._lock:
+                self._in_flight -= 1
+            job.future.set_exception(exc)
+            return
+        with self._lock:
+            self._in_flight -= 1
+            self.stats.completed += 1
+            if not result.ok:
+                self.stats.failed += 1
+            if result.retried:
+                self.stats.retried += 1
+        job.future.set_result(result)
+
+    def _execute(self, request: _Request) -> LaunchResult:
+        job = request.job
+        spec = job.spec
+        trace = _active_trace()
+        if trace is not None:
+            span = trace.span("serve.request", cat="serve",
+                              request_id=job.request_id,
+                              kernel=spec.kernel_name, tag=spec.tag)
+        else:
+            span = None
+        try:
+            if span is not None:
+                span.__enter__()
+            return self._execute_on_device(request)
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+
+    def _execute_on_device(self, request: _Request) -> LaunchResult:
+        job = request.job
+        spec = job.spec
+        compiled = None
+        if request.module is not None:
+            module = request.module
+        else:
+            compiled = self._compile_shared(request.program, request.options)
+            module = compiled.module
+        sanitize = bool(spec.sanitize)
+        engine = resolve_sim_engine(spec.engine)
+
+        gpu = self.pool.acquire(module, self.gpu_config, sanitize=sanitize)
+        try:
+            run_spec = spec
+            if request.make_args is not None:
+                run_spec = spec.replace(
+                    args=tuple(request.make_args(gpu, compiled)))
+            result = gpu.run(run_spec)
+            result.submitted_s = job.submitted_s
+            if request.finalize is not None:
+                result.payload = request.finalize(gpu, result)
+            self.pool.release(gpu, module, self.gpu_config)
+            return result
+        except PROGRAM_FAULTS as exc:
+            # Deterministic property of the program: isolate as a
+            # CrashReport-carrying failed result, keep the device.
+            result = self._failed_result(job, spec, exc, gpu, engine)
+            self.pool.release(gpu, module, self.gpu_config)
+            return result
+        except Exception as exc:
+            # Internal engine fault: the device may be inconsistent.
+            self.pool.discard(gpu)
+            if engine == ENGINE_LEGACY:
+                raise  # the reference engine failed: nothing to fall back to
+            return self._retry_on_legacy(request, module, compiled, exc, gpu)
+
+    def _failed_result(self, job, spec, exc, gpu, engine,
+                       retry: Optional[dict] = None) -> LaunchResult:
+        report = CrashReport.from_exception(
+            exc, kernel=spec.kernel_name, engine=engine,
+            fault_plan=getattr(gpu, "fault_plan", None),
+            trace=getattr(gpu, "_trace", None),
+        )
+        if retry is not None:
+            report.retry = retry
+        path = report.save(self.report_dir) if self.save_reports else None
+        return LaunchResult(
+            spec=spec, profile=None, engine=engine, ok=False,
+            report=report, report_path=path, retried=retry is not None,
+            submitted_s=job.submitted_s, started_s=None,
+            finished_s=time.monotonic(),
+        )
+
+    def _retry_on_legacy(self, request: _Request, module, compiled,
+                         exc: Exception, failed_gpu) -> LaunchResult:
+        """Mirror :func:`repro.faults.run_guarded`: one retry on a
+        fresh legacy device, with the internal fault on record."""
+        job = request.job
+        spec = job.spec
+        retry = {
+            "from_engine": resolve_sim_engine(spec.engine),
+            "to_engine": ENGINE_LEGACY,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+        report = CrashReport.from_exception(
+            exc, kernel=spec.kernel_name, engine=retry["from_engine"],
+            fault_plan=getattr(failed_gpu, "fault_plan", None),
+            trace=getattr(failed_gpu, "_trace", None),
+        )
+        report.retry = retry
+        gpu = VirtualGPU(module, config=self.gpu_config,
+                         sanitize=bool(spec.sanitize))
+        legacy_spec = spec.replace(engine=ENGINE_LEGACY)
+        try:
+            if request.make_args is not None:
+                legacy_spec = legacy_spec.replace(
+                    args=tuple(request.make_args(gpu, compiled)))
+            result = gpu.run(legacy_spec)
+            result.submitted_s = job.submitted_s
+            result.retried = True
+            result.report = report
+            if self.save_reports:
+                result.report_path = report.save(self.report_dir)
+            if request.finalize is not None:
+                result.payload = request.finalize(gpu, result)
+            return result
+        except PROGRAM_FAULTS as exc2:
+            return self._failed_result(job, legacy_spec, exc2, gpu,
+                                       ENGINE_LEGACY, retry=retry)

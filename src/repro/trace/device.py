@@ -37,10 +37,28 @@ def emit_launch_events(
     config,
     phase_logs: Sequence[List[PhaseRecord]],
     engine: str,
+    request_id: Optional[str] = None,
 ) -> None:
-    """Emit the device timeline of one launch onto *collector*."""
+    """Emit the device timeline of one launch onto *collector*.
+
+    *request_id* (when the launch came from a :class:`LaunchSpec`
+    carrying one) tags the kernel span and the completion instant, so
+    a served request can be followed from submission through the
+    device timeline.  Untagged launches emit byte-identical events to
+    the pre-serve layer.
+    """
     launch_us = config.launch_overhead * US_PER_CYCLE
     kernel = profile.kernel_name
+
+    kernel_args = {
+        "engine": engine,
+        "cycles": profile.cycles,
+        "instructions": profile.instructions,
+        "teams": profile.num_teams,
+        "threads_per_team": profile.threads_per_team,
+    }
+    if request_id is not None:
+        kernel_args["request_id"] = request_id
 
     # Kernel row (tid 0): launch overhead, then the whole kernel span.
     collector.complete(
@@ -51,13 +69,7 @@ def emit_launch_events(
         f"kernel {kernel}", "vgpu", ts_us=0.0,
         dur_us=profile.cycles * US_PER_CYCLE,
         pid=PID_DEVICE, tid=0,
-        args={
-            "engine": engine,
-            "cycles": profile.cycles,
-            "instructions": profile.instructions,
-            "teams": profile.num_teams,
-            "threads_per_team": profile.threads_per_team,
-        },
+        args=kernel_args,
     )
 
     # Team rows (tid = team + 1) placed by the SM wave model.
@@ -105,10 +117,17 @@ def emit_launch_events(
         "runtime_overhead", profile.overhead_counters(),
         cat="runtime", pid=PID_DEVICE, tid=0, ts_us=end_us,
     )
-    collector.instant(
-        "launch_complete", cat="vgpu", pid=PID_HOST, tid=1,
-        kernel=kernel, cycles=profile.cycles, engine=engine,
-    )
+    if request_id is not None:
+        collector.instant(
+            "launch_complete", cat="vgpu", pid=PID_HOST, tid=1,
+            kernel=kernel, cycles=profile.cycles, engine=engine,
+            request_id=request_id,
+        )
+    else:
+        collector.instant(
+            "launch_complete", cat="vgpu", pid=PID_HOST, tid=1,
+            kernel=kernel, cycles=profile.cycles, engine=engine,
+        )
 
     # Per-IR-function cycle attribution (hotspots), when collected.
     if profile.function_cycles:

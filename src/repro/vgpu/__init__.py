@@ -37,7 +37,8 @@ from repro.vgpu.errors import (  # noqa: F401
 )
 from repro.vgpu.sanitizer import SanitizedMemorySystem  # noqa: F401
 from repro.vgpu.execstate import Frame, ThreadContext, ThreadStatus  # noqa: F401
-from repro.vgpu.interpreter import VirtualGPU  # noqa: F401
+from repro.vgpu.interpreter import CooperativeWatchdog, VirtualGPU  # noqa: F401
+from repro.vgpu.launchspec import LaunchResult, LaunchSpec  # noqa: F401
 from repro.vgpu.profiler import KernelProfile, NOMINAL_CLOCK_GHZ, TeamStats  # noqa: F401
 from repro.vgpu.registers import estimate_kernel_registers, max_live_values  # noqa: F401
 from repro.vgpu.resources import (  # noqa: F401

@@ -32,6 +32,8 @@ produce identical profiles.
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor, wait as _wait_futures
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -105,6 +107,7 @@ from repro.vgpu.execstate import (  # noqa: F401 (Frame/ThreadStatus re-exported
 )
 from repro.trace.categories import OVERHEAD_CATEGORIES
 from repro.trace.collector import active_or_none as _active_trace
+from repro.vgpu.launchspec import LaunchResult, LaunchSpec
 from repro.vgpu.profiler import KernelProfile, TeamStats
 from repro.vgpu.resources import measure_resources
 
@@ -115,6 +118,48 @@ _AT_BARRIER = ThreadStatus.AT_BARRIER
 _DONE = ThreadStatus.DONE
 
 _I64 = IntType(64)
+
+#: The legacy-kwargs deprecation fires once per process — enough to
+#: steer callers to :class:`LaunchSpec` without drowning test output.
+_warned_legacy_launch = False
+
+
+def _warn_legacy_launch() -> None:
+    global _warned_legacy_launch
+    if _warned_legacy_launch:
+        return
+    _warned_legacy_launch = True
+    warnings.warn(
+        "VirtualGPU.launch(kernel, args, num_teams, ...) keyword launches "
+        "are deprecated; build a repro.vgpu.LaunchSpec and call "
+        "VirtualGPU.run(spec) (or launch(spec))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class CooperativeWatchdog:
+    """Cooperative wall-clock abort shared by every team of a launch.
+
+    Teams poll :meth:`expired` at phase boundaries, so both the serial
+    reference path and ``sim_jobs=N`` honour the same deadline; the
+    parallel driver additionally sets :attr:`event` from the waiting
+    host thread so workers stop even when a single phase overruns the
+    deadline check cadence.
+    """
+
+    __slots__ = ("seconds", "deadline", "event")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self.deadline = time.monotonic() + seconds
+        self.event = threading.Event()
+
+    def remaining(self) -> float:
+        return max(0.0, self.deadline - time.monotonic())
+
+    def expired(self) -> bool:
+        return self.event.is_set() or time.monotonic() >= self.deadline
 
 
 class VirtualGPU:
@@ -179,6 +224,11 @@ class VirtualGPU:
         self._materialize_globals()
         self._assign_function_addresses()
         self._apply_environment()
+        #: Post-load device image for warm resets (:meth:`reset_device`).
+        #: The sanitizer's shadow state is launch-scoped, not image-
+        #: scoped, so sanitized devices are rebuilt instead of reset.
+        if not self.sanitize:
+            self.memory.snapshot_device_image()
 
     # ------------------------------------------------------------------ setup --
 
@@ -272,31 +322,95 @@ class VirtualGPU:
 
     def launch(
         self,
-        kernel: Union[str, Function],
-        args: Sequence[Scalar],
-        num_teams: int,
-        threads_per_team: int,
+        kernel: Union[str, Function, LaunchSpec],
+        args: Optional[Sequence[Scalar]] = None,
+        num_teams: Optional[int] = None,
+        threads_per_team: Optional[int] = None,
         dynamic_shared_bytes: int = 0,
         sim_jobs: Optional[int] = None,
         watchdog_s: Optional[float] = None,
     ) -> KernelProfile:
-        """Execute *kernel* over the given grid; returns its profile.
+        """Execute a launch; returns its :class:`KernelProfile`.
 
-        ``dynamic_shared_bytes`` models the launch-time dynamic shared
-        memory of §III-D: each team gets that many extra bytes beyond
-        the static allocation, reachable via ``gpu.dynamic_shared``.
+        The canonical form is ``launch(spec)`` with a
+        :class:`LaunchSpec` (or :meth:`run`, which also returns the
+        timing envelope).  The expanded ``launch(kernel, args,
+        num_teams, threads_per_team, ...)`` keyword form is a
+        deprecated shim kept for existing callers: it builds the
+        equivalent spec and emits one :class:`DeprecationWarning` per
+        process.
+        """
+        if isinstance(kernel, LaunchSpec):
+            if args is not None or num_teams is not None or threads_per_team is not None:
+                raise TypeError(
+                    "launch(spec) takes no further positional arguments; "
+                    "fold them into the LaunchSpec"
+                )
+            return self.run(kernel).profile
+        _warn_legacy_launch()
+        if args is None or num_teams is None or threads_per_team is None:
+            raise TypeError(
+                "legacy launch() needs kernel, args, num_teams and "
+                "threads_per_team (or pass a LaunchSpec)"
+            )
+        spec = LaunchSpec(
+            kernel=kernel,
+            args=tuple(args),
+            num_teams=num_teams,
+            threads_per_team=threads_per_team,
+            dynamic_shared_bytes=dynamic_shared_bytes,
+            sim_jobs=sim_jobs,
+            watchdog_s=watchdog_s,
+        )
+        return self.run(spec).profile
 
-        ``sim_jobs`` (default: ``REPRO_SIM_JOBS``, else 1) simulates
-        independent teams on that many worker threads.  Profiles are
-        identical to a serial run: each team counts into a private
-        :class:`TeamStats` and results merge in team order.
+    def run(self, spec: LaunchSpec) -> LaunchResult:
+        """Execute *spec* and return a :class:`LaunchResult`.
 
-        ``watchdog_s`` (default: ``REPRO_WATCHDOG_S``, 0 = off) bounds
-        the wall-clock time of *parallel* team simulation: when it
-        expires, in-flight teams are cooperatively aborted at their
-        next phase boundary and the launch raises
+        This is the canonical launch entry point.  Per-spec overrides
+        (``engine``, ``faults``) are applied for the duration of the
+        run and restored afterwards — a device executes one request at
+        a time, which is what lets the serve layer multiplex warm
+        devices across tenants.
+
+        ``spec.dynamic_shared_bytes`` models the launch-time dynamic
+        shared memory of §III-D; ``spec.sim_jobs`` fans independent
+        teams out to worker threads with profiles identical to a serial
+        run; ``spec.watchdog_s`` bounds wall-clock simulation time with
+        a cooperative abort at phase boundaries — honoured by both the
+        serial and the parallel phase drivers — raising
         :class:`~repro.vgpu.errors.WatchdogExpired`.
         """
+        if spec.sanitize is not None and bool(spec.sanitize) != self.sanitize:
+            raise SimulationError(
+                f"LaunchSpec expects sanitize={bool(spec.sanitize)} but this "
+                f"device was built with sanitize={self.sanitize}"
+            )
+        engine = (self.engine if spec.engine is None
+                  else resolve_sim_engine(spec.engine))
+        fault_plan = (self.fault_plan if spec.faults is None
+                      else resolve_fault_plan(spec.faults))
+        saved = (self.engine, self.fault_plan)
+        self.engine, self.fault_plan = engine, fault_plan
+        started = time.monotonic()
+        try:
+            profile = self._execute_spec(spec)
+        finally:
+            self.engine, self.fault_plan = saved
+        return LaunchResult(
+            spec=spec,
+            profile=profile,
+            engine=engine,
+            started_s=started,
+            finished_s=time.monotonic(),
+        )
+
+    def _execute_spec(self, spec: LaunchSpec) -> KernelProfile:
+        """Run one launch with the device-level engine/faults in effect."""
+        kernel = spec.kernel
+        args = spec.args
+        num_teams = spec.num_teams
+        threads_per_team = spec.threads_per_team
         func = self.module.get_function(kernel) if isinstance(kernel, str) else kernel
         if func.is_declaration:
             raise SimulationError(f"kernel @{func.name} has no body")
@@ -311,7 +425,7 @@ class VirtualGPU:
             )
         launch = LaunchConfig(num_teams, threads_per_team)
         self._launch = launch
-        self._dynamic_shared_bytes = dynamic_shared_bytes
+        self._dynamic_shared_bytes = spec.dynamic_shared_bytes
         self._dynamic_shared_base = {}
         profile = KernelProfile(
             kernel_name=func.name,
@@ -324,20 +438,24 @@ class VirtualGPU:
 
         if self.sanitize:
             self.memory.begin_launch()
-        jobs = resolve_sim_jobs(sim_jobs, num_teams)
+        jobs = resolve_sim_jobs(spec.sim_jobs, num_teams)
+        watchdog_s = resolve_watchdog(spec.watchdog_s)
+        abort = CooperativeWatchdog(watchdog_s) if watchdog_s > 0 else None
         try:
             if jobs == 1:
                 # Serial reference path: one reusable thread-context
                 # workspace shared by all teams (allocation reuse).
+                # The watchdog deadline applies here too — teams poll
+                # it cooperatively at phase boundaries.
                 workspace: List[ThreadContext] = []
                 results = [
-                    self._run_team(func, args, team_id, launch, workspace)
+                    self._run_team(func, args, team_id, launch, workspace,
+                                   abort)
                     for team_id in range(num_teams)
                 ]
             else:
                 results = self._run_teams_parallel(
-                    func, args, num_teams, launch, jobs,
-                    resolve_watchdog(watchdog_s),
+                    func, args, num_teams, launch, jobs, abort,
                 )
         except SimulationError as exc:
             if self._trace is not None:
@@ -374,8 +492,39 @@ class VirtualGPU:
                 self._trace, profile, self.config,
                 phase_logs=[stats.phase_log for _, stats in results],
                 engine=self.engine,
+                request_id=spec.request_id,
             )
         return profile
+
+    # ------------------------------------------------------------ warm reset --
+
+    @property
+    def resettable(self) -> bool:
+        """True when :meth:`reset_device` can restore the post-load image
+        (sanitized devices must be rebuilt instead)."""
+        return not self.sanitize
+
+    def reset_device(self) -> "VirtualGPU":
+        """Restore this device to its post-load state for reuse.
+
+        Global and constant memory rewind to the image captured right
+        after module load (so per-request ``alloc_array`` data and
+        kernel-visible global mutations are discarded), shared/local
+        segments are dropped for lazy re-creation, and launch-scoped
+        state is cleared.  Decode bindings (``_bound_cache``) survive —
+        that is the point of pooling warm devices: repeat requests skip
+        both module load *and* kernel decode.
+        """
+        if self.sanitize:
+            raise SimulationError(
+                "sanitized devices cannot be warm-reset; build a fresh "
+                "VirtualGPU(sanitize=True) per request"
+            )
+        self.memory.reset_device_image()
+        self._launch = None
+        self._dynamic_shared_bytes = 0
+        self._dynamic_shared_base = {}
+        return self
 
     # ------------------------------------------------------------- team driver --
 
@@ -386,7 +535,7 @@ class VirtualGPU:
         num_teams: int,
         launch: LaunchConfig,
         jobs: int,
-        watchdog_s: float,
+        abort: Optional[CooperativeWatchdog],
     ) -> List[Tuple[int, TeamStats]]:
         """Fan teams out to *jobs* workers, optionally under a watchdog.
 
@@ -395,7 +544,6 @@ class VirtualGPU:
         reported — launch failures stay deterministic under
         ``sim_jobs=N``.
         """
-        abort = threading.Event() if watchdog_s > 0 else None
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(self._run_team, kernel, args, team_id, launch,
@@ -403,12 +551,12 @@ class VirtualGPU:
                 for team_id in range(num_teams)
             ]
             if abort is not None:
-                done, not_done = _wait_futures(futures, timeout=watchdog_s)
+                done, not_done = _wait_futures(futures, timeout=abort.remaining())
                 if not_done:
-                    abort.set()
+                    abort.event.set()
                     _wait_futures(futures)  # workers stop at a phase boundary
                     raise WatchdogExpired(
-                        f"watchdog ({watchdog_s:g}s) expired with "
+                        f"watchdog ({abort.seconds:g}s) expired with "
                         f"{len(not_done)}/{num_teams} teams of "
                         f"@{kernel.name} still running"
                     )
@@ -421,7 +569,7 @@ class VirtualGPU:
         team_id: int,
         launch: LaunchConfig,
         workspace: Optional[List[ThreadContext]] = None,
-        abort: Optional[threading.Event] = None,
+        abort: Optional[CooperativeWatchdog] = None,
     ) -> Tuple[int, TeamStats]:
         """Simulate one team; returns its elapsed time and counters."""
         stats = TeamStats()
@@ -469,9 +617,10 @@ class VirtualGPU:
         plog = stats.phase_log if self._trace is not None else None
         alive = list(threads)
         while alive:
-            if abort is not None and abort.is_set():
+            if abort is not None and abort.expired():
                 raise WatchdogExpired(
-                    f"team {team_id} aborted by the launch watchdog"
+                    f"watchdog ({abort.seconds:g}s) expired: team {team_id} "
+                    f"of @{kernel.name} aborted at a phase boundary"
                 )
             for thread in alive:
                 if thread.status is _RUNNING:

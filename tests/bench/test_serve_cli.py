@@ -1,0 +1,84 @@
+"""``python -m repro.bench serve`` — load-generator report contract."""
+
+import json
+
+import pytest
+
+from repro.bench import serve_cli
+
+pytestmark = pytest.mark.serve
+
+
+class TestPercentiles:
+    def test_nearest_rank_points(self):
+        out = serve_cli.percentiles([float(v) for v in range(1, 101)])
+        assert out["p50"] == 50.0
+        assert out["p95"] == 95.0
+        assert out["p99"] == 99.0
+        assert out["max"] == 100.0
+
+    def test_monotonic_on_any_input(self):
+        out = serve_cli.percentiles([0.4, 0.1, 0.9, 0.2, 0.7])
+        assert out["p50"] <= out["p95"] <= out["p99"] <= out["max"]
+
+    def test_empty_input(self):
+        out = serve_cli.percentiles([])
+        assert out == {"p50": 0.0, "p95": 0.0, "p99": 0.0,
+                       "mean": 0.0, "max": 0.0}
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One smoke-scale load run shared by the schema tests: the
+    acceptance bar of eight concurrent tenants, one request each."""
+    return serve_cli.serve_load(tenants=8, requests=1, workers=4)
+
+
+class TestServeLoadReport:
+    def test_sustains_eight_concurrent_tenants(self, report):
+        assert report["config"]["tenants"] == 8
+        assert report["totals"]["completed"] == 8
+        assert report["totals"]["ok"] == 8
+        assert report["totals"]["verified"] == 8
+        assert report["totals"]["errors"] == []
+
+    def test_schema(self, report):
+        assert report["benchmark"] == "serve"
+        for section in ("config", "totals", "latency_s", "queue_wait_s",
+                        "service", "pool", "requests"):
+            assert section in report
+        for point in ("p50", "p95", "p99", "mean", "max"):
+            assert point in report["latency_s"]
+            assert point in report["queue_wait_s"]
+        assert report["throughput_rps"] > 0
+        assert report["wall_seconds"] > 0
+
+    def test_percentiles_are_monotonic(self, report):
+        lat = report["latency_s"]
+        assert 0 <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+    def test_per_request_rows_are_ordered_and_tagged(self, report):
+        rows = report["requests"]
+        ids = [r["request_id"] for r in rows]
+        assert ids == sorted(ids)
+        assert all(r["cycles"] > 0 for r in rows)
+        assert all(r["latency_s"] >= r["queue_wait_s"] >= 0 for r in rows)
+
+    def test_compiles_are_shared_across_tenants(self, report):
+        # Mix has 3 distinct apps at one build: at most 3 compiles for
+        # 8 tenants.
+        assert report["service"]["compiles"] <= 3
+        assert report["pool"]["builds"] + report["pool"]["reuses"] >= 8
+
+    def test_report_round_trips_through_json(self, report, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        serve_cli.write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(serve_cli.render_json(report))
+        assert loaded["benchmark"] == "serve"
+
+    def test_format_serve_summarizes(self, report):
+        text = serve_cli.format_serve(report)
+        assert "8 tenants" in text
+        assert "p50" in text and "p99" in text
+        assert "throughput" in text

@@ -25,12 +25,13 @@ class FakeGPU:
         self._trace = None
         self.launches = 0
 
-    def launch(self, kernel, args, num_teams, threads_per_team,
-               sim_jobs=None, watchdog_s=None):
+    def run(self, spec):
         self.launches += 1
         if self.outcome is not None:
             raise self.outcome
-        return PROFILE
+        from repro.vgpu import LaunchResult
+
+        return LaunchResult(spec=spec, profile=PROFILE, engine=self.engine)
 
 
 def _factories(outcomes):

@@ -1,0 +1,220 @@
+"""The request-object launch API: LaunchSpec / LaunchResult / run().
+
+Pins the redesign's contract: ``VirtualGPU.run(spec)`` is canonical,
+``launch(spec)`` is a silent alias, and the expanded
+``launch(kernel, args, teams, threads)`` keyword form is a deprecated
+shim that warns exactly once per process.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.ir import I64, PTR_GLOBAL, verify_module
+from repro.vgpu import (
+    ENGINE_DECODED,
+    ENGINE_LEGACY,
+    LaunchResult,
+    LaunchSpec,
+    SimulationError,
+    VirtualGPU,
+)
+from repro.vgpu import interpreter as interp_mod
+from tests.conftest import make_kernel
+
+
+def _store_module(module):
+    """kern(out, value): out[global_tid] = value."""
+    func, b = make_kernel(module, params=(PTR_GLOBAL, I64),
+                          arg_names=["out", "value"])
+    tid = b.sext(b.add(b.mul(b.block_id(), b.block_dim()), b.thread_id()), I64)
+    b.store(func.args[1], b.array_gep(func.args[0], I64, tid))
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def _device(module, **kwargs):
+    return VirtualGPU(_store_module(module), **kwargs)
+
+
+class TestLaunchSpecValidation:
+    def test_defaults(self):
+        spec = LaunchSpec(kernel="kern")
+        assert spec.num_teams == 1
+        assert spec.threads_per_team == 1
+        assert spec.args == ()
+        assert spec.sim_jobs is None
+        assert spec.engine is None
+
+    def test_args_are_coerced_to_a_tuple(self):
+        spec = LaunchSpec(kernel="kern", args=[1, 2, 3])
+        assert spec.args == (1, 2, 3)
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_teams", 0),
+        ("threads_per_team", 0),
+        ("dynamic_shared_bytes", -1),
+        ("sim_jobs", 0),
+        ("watchdog_s", -0.5),
+    ])
+    def test_bounds_are_validated(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            LaunchSpec(kernel="kern", **{field: value})
+
+    def test_engine_is_resolved_at_construction(self):
+        assert LaunchSpec(kernel="k", engine="legacy").engine == ENGINE_LEGACY
+        with pytest.raises(ValueError):
+            LaunchSpec(kernel="k", engine="warp9")
+
+    def test_replace_derives_a_new_spec(self):
+        spec = LaunchSpec(kernel="kern", num_teams=2)
+        other = spec.replace(args=(1,), request_id="r1")
+        assert other.args == (1,) and other.request_id == "r1"
+        assert other.num_teams == 2
+        assert spec.args == () and spec.request_id is None
+
+    def test_specs_are_immutable(self):
+        spec = LaunchSpec(kernel="kern")
+        with pytest.raises(Exception):
+            spec.num_teams = 4
+
+    def test_describe_mentions_kernel_geometry_and_request(self):
+        text = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=8,
+                          request_id="r7").describe()
+        assert "@kern" in text and "2x8" in text and "req=r7" in text
+
+
+class TestRun:
+    def test_run_returns_a_timed_launch_result(self, module):
+        gpu = _device(module)
+        out = gpu.alloc_array(np.zeros(4, dtype=np.int64))
+        spec = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=2,
+                          args=(out, 9))
+        result = gpu.run(spec)
+        assert isinstance(result, LaunchResult)
+        assert result.ok and result.spec is spec
+        assert result.profile.cycles > 0
+        assert result.engine == gpu.engine
+        assert result.finished_s >= result.started_s
+        assert result.duration_s >= 0.0
+        assert list(gpu.read_array(out, np.int64, 4)) == [9, 9, 9, 9]
+
+    def test_per_spec_engine_override_is_restored(self, module):
+        gpu = _device(module, engine=ENGINE_DECODED)
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        spec = LaunchSpec(kernel="kern", args=(out, 1), engine=ENGINE_LEGACY)
+        result = gpu.run(spec)
+        assert result.engine == ENGINE_LEGACY
+        assert gpu.engine == ENGINE_DECODED  # restored after the run
+
+    def test_engine_override_matches_dedicated_device(self, module):
+        from repro.ir import Module
+
+        gpu_a = _device(module, engine=ENGINE_DECODED)
+        gpu_b = _device(Module("m2"), engine=ENGINE_LEGACY)
+        out_a = gpu_a.alloc_array(np.zeros(4, dtype=np.int64))
+        out_b = gpu_b.alloc_array(np.zeros(4, dtype=np.int64))
+        spec = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=2)
+        p_a = gpu_a.run(spec.replace(args=(out_a, 3), engine=ENGINE_LEGACY))
+        p_b = gpu_b.run(spec.replace(args=(out_b, 3)))
+        assert p_a.profile.to_dict() == p_b.profile.to_dict()
+
+    def test_sanitize_mismatch_raises(self, module):
+        gpu = _device(module)  # not sanitized
+        spec = LaunchSpec(kernel="kern", args=(0, 0), sanitize=True)
+        with pytest.raises(SimulationError, match="sanitize"):
+            gpu.run(spec)
+
+    def test_dynamic_shared_travels_in_the_spec(self, module):
+        from repro.ir import Module
+
+        gpu = _device(module)
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        spec = LaunchSpec(kernel="kern", args=(out, 5),
+                          dynamic_shared_bytes=128)
+        result = gpu.run(spec)
+        assert result.ok
+        assert gpu._dynamic_shared_bytes == 128
+
+
+class TestLegacyShim:
+    def test_launch_with_a_spec_does_not_warn(self, module):
+        gpu = _device(module)
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            profile = gpu.launch(LaunchSpec(kernel="kern", args=(out, 2)))
+        assert profile.cycles > 0
+
+    def test_launch_spec_rejects_extra_positionals(self, module):
+        gpu = _device(module)
+        with pytest.raises(TypeError, match="LaunchSpec"):
+            gpu.launch(LaunchSpec(kernel="kern", args=(0, 0)), [], 1, 1)
+
+    def test_legacy_kwargs_warn_exactly_once(self, module, monkeypatch):
+        monkeypatch.setattr(interp_mod, "_warned_legacy_launch", False)
+        gpu = _device(module)
+        out = gpu.alloc_array(np.zeros(1, dtype=np.int64))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            gpu.launch("kern", [out, 1], 1, 1)
+            gpu.launch("kern", [out, 1], 1, 1)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "LaunchSpec" in str(w.message)]
+        assert len(deprecations) == 1
+
+    def test_legacy_kwargs_still_need_the_full_geometry(self, module):
+        gpu = _device(module)
+        with pytest.raises(TypeError, match="legacy launch"):
+            gpu.launch("kern", [0, 0])
+
+    def test_shim_and_spec_produce_identical_profiles(self, module):
+        from repro.ir import Module
+
+        gpu_a = _device(module)
+        gpu_b = _device(Module("m2"))
+        out_a = gpu_a.alloc_array(np.zeros(4, dtype=np.int64))
+        out_b = gpu_b.alloc_array(np.zeros(4, dtype=np.int64))
+        p_a = gpu_a.launch("kern", [out_a, 3], 2, 2)
+        p_b = gpu_b.run(LaunchSpec(kernel="kern", num_teams=2,
+                                   threads_per_team=2,
+                                   args=(out_b, 3))).profile
+        assert p_a.to_dict() == p_b.to_dict()
+
+
+class TestWarmReset:
+    def test_reset_restores_the_post_load_image(self, module):
+        gpu = _device(module)
+        assert gpu.resettable
+        out = gpu.alloc_array(np.zeros(4, dtype=np.int64))
+        gpu.run(LaunchSpec(kernel="kern", num_teams=2, threads_per_team=2,
+                           args=(out, 7)))
+        brk_before = gpu.memory.global_seg.brk
+        gpu.reset_device()
+        assert gpu.memory.global_seg.brk < brk_before
+        # The device is fully usable again after the rewind.
+        out2 = gpu.alloc_array(np.zeros(4, dtype=np.int64))
+        result = gpu.run(LaunchSpec(kernel="kern", num_teams=2,
+                                    threads_per_team=2, args=(out2, 5)))
+        assert list(gpu.read_array(out2, np.int64, 4)) == [5, 5, 5, 5]
+        assert result.ok
+
+    def test_reset_produces_identical_profiles_across_requests(self, module):
+        gpu = _device(module)
+        profiles = []
+        for _ in range(2):
+            out = gpu.alloc_array(np.zeros(4, dtype=np.int64))
+            result = gpu.run(LaunchSpec(kernel="kern", num_teams=2,
+                                        threads_per_team=2, args=(out, 1)))
+            profiles.append(result.profile.to_dict())
+            gpu.reset_device()
+        assert profiles[0] == profiles[1]
+
+    def test_sanitized_devices_refuse_reset(self, module):
+        gpu = _device(module, sanitize=True)
+        assert not gpu.resettable
+        with pytest.raises(SimulationError, match="sanitized"):
+            gpu.reset_device()

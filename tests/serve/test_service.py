@@ -1,0 +1,326 @@
+"""The serve layer's contract: served == direct, and failures stay put.
+
+* A request served through :class:`repro.serve.SimulationService` is
+  bit-identical to a direct ``VirtualGPU.run`` of the same spec —
+  profiles, verification, fault firing and the device-timeline trace —
+  across engines and under concurrency.
+* A saturated service answers with a structured
+  :class:`~repro.serve.AdmissionRejected` instead of hanging.
+* A request's failure becomes its own ``ok=False`` result; it never
+  leaks into other tenants or poisons the pool.
+"""
+
+import threading
+
+import pytest
+
+from repro.bench.builds import BUILD_ORDER, build_options
+from repro.bench.harness import APPS
+from repro.faults.report import CrashReport
+from repro.ir import I64, Module, verify_module
+from repro.serve import (
+    AdmissionRejected,
+    DevicePool,
+    LaunchSpec,
+    ServiceClosed,
+    SimulationService,
+)
+from repro.toolchain.service import ToolchainSession
+from repro.trace.collector import TraceCollector, install
+from repro.vgpu import ENGINE_DECODED, ENGINE_LEGACY, VirtualGPU
+from tests.conftest import make_kernel
+
+pytestmark = pytest.mark.serve
+
+APP = "testsnap"
+BUILD = BUILD_ORDER[0]
+
+#: The engine matrix of the acceptance criterion: legacy, decoded,
+#: decoded with parallel team simulation.
+ENGINE_CELLS = (
+    (ENGINE_LEGACY, None),
+    (ENGINE_DECODED, None),
+    (ENGINE_DECODED, 2),
+)
+
+
+def _direct_app_run(engine, sim_jobs):
+    """The reference: compile + run the app cell directly."""
+    app = APPS[APP]
+    size = app.default_size()
+    compiled = ToolchainSession().compile(app.build_program(size),
+                                          build_options()[BUILD])
+    gpu = VirtualGPU(compiled.module)
+    host_args, verify = app.prepare(gpu, size)
+    spec = LaunchSpec(
+        kernel=app.KERNEL, num_teams=app.TEAMS, threads_per_team=app.THREADS,
+        args=tuple(compiled.abi(app.KERNEL).marshal(gpu, host_args)),
+        engine=engine, sim_jobs=sim_jobs,
+    )
+    result = gpu.run(spec)
+    return result.profile.to_dict(), verify(gpu, host_args)
+
+
+def _barrier_loop_module(iterations):
+    """kern(): *iterations* barrier phases — abortable at each one."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    entry = b.block
+    loop = func.add_block("loop")
+    done = func.add_block("done")
+    b.br(loop)
+    b.set_insert_point(loop)
+    i = b.phi(I64, "i")
+    i.add_incoming(b.i64(0), entry)
+    b.barrier()
+    ni = b.add(i, b.i64(1))
+    i.add_incoming(ni, loop)
+    b.cond_br(b.icmp("slt", ni, b.i64(iterations)), loop, done)
+    b.set_insert_point(done)
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def _malloc_module():
+    """kern(): three device mallocs, then return."""
+    module = Module("m")
+    func, b = make_kernel(module, params=())
+    for _ in range(3):
+        b.intrinsic("malloc", [b.i64(16)])
+    b.ret()
+    verify_module(module)
+    return module
+
+
+class TestServedEqualsDirect:
+    def test_profiles_and_verification_match_across_engines(self):
+        direct = {cell: _direct_app_run(*cell) for cell in ENGINE_CELLS}
+        with SimulationService(workers=3) as svc:
+            jobs = {
+                cell: svc.submit_app(APP, build=BUILD, engine=cell[0],
+                                     sim_jobs=cell[1])
+                for cell in ENGINE_CELLS
+            }
+            for cell, job in jobs.items():
+                served = job.result(timeout=600)
+                profile, max_error = direct[cell]
+                assert served.ok, served.report and served.report.to_dict()
+                assert served.engine == cell[0]
+                assert served.profile.to_dict() == profile
+                assert served.payload == {"max_error": max_error}
+                assert served.latency_s >= served.duration_s >= 0.0
+
+    def test_concurrent_tenants_on_one_warm_pool_stay_identical(self):
+        profile, max_error = _direct_app_run(ENGINE_DECODED, None)
+        with SimulationService(workers=4) as svc:
+            jobs = [svc.submit_app(APP, build=BUILD, request_id=f"t{i}")
+                    for i in range(8)]
+            for job in jobs:
+                served = job.result(timeout=600)
+                assert served.ok
+                assert served.profile.to_dict() == profile
+                assert served.payload == {"max_error": max_error}
+            # 8 requests over 4 workers must have reused warm devices.
+            assert svc.pool.stats.reuses > 0
+            assert svc.stats.to_dict()["compiles"] == 1
+
+    def test_request_ids_round_trip_and_autogenerate(self):
+        with SimulationService(workers=1) as svc:
+            tagged = svc.submit_app(APP, build=BUILD, request_id="mine")
+            auto = svc.submit_app(APP, build=BUILD)
+            assert tagged.result(timeout=600).request_id == "mine"
+            generated = auto.result(timeout=600).request_id
+            assert generated and generated.startswith("r")
+
+
+class TestFaultParity:
+    def test_injected_fault_fires_identically_served_and_direct(self):
+        module = _malloc_module()
+        spec = LaunchSpec(kernel="kern", faults="malloc_fail:n=2")
+        gpu = VirtualGPU(module)
+        with pytest.raises(Exception) as excinfo:
+            gpu.run(spec)
+        direct_report = CrashReport.from_exception(
+            excinfo.value, kernel="kern", engine=gpu.engine,
+            fault_plan=gpu.fault_plan)
+        with SimulationService(workers=1) as svc:
+            served = svc.run(spec, module=_malloc_module())
+        assert not served.ok and served.profile is None
+        assert served.report.error_type == "InjectedFault"
+        assert served.report.comparable_dict() == \
+            direct_report.comparable_dict()
+
+    def test_watchdog_expiry_is_an_isolated_failure_not_a_hang(self):
+        spec = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=2,
+                          watchdog_s=0.05)
+        with SimulationService(workers=1) as svc:
+            served = svc.run(spec, module=_barrier_loop_module(500_000))
+            assert not served.ok
+            assert served.report.error_type == "WatchdogExpired"
+            # The worker (and its device slot) survive for the next tenant.
+            ok = svc.run(LaunchSpec(kernel="kern", num_teams=1,
+                                    threads_per_team=1, watchdog_s=30.0),
+                         module=_barrier_loop_module(3))
+            assert ok.ok
+
+    def test_one_tenants_fault_does_not_poison_others(self):
+        with SimulationService(workers=2) as svc:
+            bad = svc.submit(LaunchSpec(kernel="kern",
+                                        faults="malloc_fail:n=1"),
+                             module=_malloc_module())
+            good = svc.submit_app(APP, build=BUILD)
+            assert not bad.result(timeout=600).ok
+            assert good.result(timeout=600).ok
+            assert svc.stats.to_dict()["failed"] == 1
+
+
+class TestTraceParity:
+    @staticmethod
+    def _device_timeline(collector):
+        """Device-timeline events (vgpu + runtime cats), wall-clock
+        stamps stripped — everything else must match bit-for-bit."""
+        out = []
+        for event in collector.events_snapshot():
+            if event.get("cat") not in ("vgpu", "runtime"):
+                continue
+            out.append({k: v for k, v in event.items()
+                        if k not in ("ts", "dur")})
+        return out
+
+    def test_served_requests_emit_the_direct_device_timeline(self):
+        spec = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=2,
+                          request_id="req-x")
+
+        direct_collector = TraceCollector()
+        with install(direct_collector):
+            VirtualGPU(_barrier_loop_module(3)).run(spec)
+
+        served_collector = TraceCollector()
+        with install(served_collector):
+            with SimulationService(workers=1) as svc:
+                served = svc.run(spec, module=_barrier_loop_module(3))
+        assert served.ok
+        direct_events = self._device_timeline(direct_collector)
+        served_events = self._device_timeline(served_collector)
+        assert direct_events == served_events
+        # The request id reached the kernel span in both runs.
+        kernel_args = [e.get("args", {}) for e in direct_events
+                       if e.get("name", "").startswith("kernel")]
+        assert any(a.get("request_id") == "req-x" for a in kernel_args)
+
+    def test_serve_layer_spans_carry_the_request_id(self):
+        collector = TraceCollector()
+        with install(collector):
+            with SimulationService(workers=1) as svc:
+                svc.run(LaunchSpec(kernel="kern", request_id="req-y"),
+                        module=_barrier_loop_module(3))
+        serve_events = [e for e in collector.events_snapshot()
+                        if e.get("cat") == "serve"]
+        names = {e["name"] for e in serve_events}
+        assert "serve.submit" in names and "serve.request" in names
+        assert all(e["args"]["request_id"] == "req-y" for e in serve_events)
+
+
+class TestAdmissionControl:
+    def test_saturated_service_rejects_with_structured_error(self):
+        slow = _barrier_loop_module(500_000)
+        with SimulationService(workers=1, queue_depth=1) as svc:
+            assert svc.capacity == 2
+            # Fill the worker and the queue with watchdog-bounded slow
+            # requests, then the next submission must bounce.
+            spec = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=2,
+                              watchdog_s=1.0)
+            first = svc.submit(spec, module=slow)
+            second = svc.submit(spec, module=slow)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                svc.submit(spec.replace(request_id="bounced"), module=slow)
+            err = excinfo.value
+            assert err.in_flight == 2 and err.capacity == 2
+            assert err.request_id == "bounced"
+            assert err.to_dict()["error"] == "AdmissionRejected"
+            # The admitted requests still drain (watchdog bounds them).
+            assert not first.result(timeout=600).ok
+            assert not second.result(timeout=600).ok
+            assert svc.stats.to_dict()["rejected"] == 1
+
+    def test_max_in_flight_caps_below_derived_capacity(self):
+        svc = SimulationService(workers=4, queue_depth=16, max_in_flight=3)
+        try:
+            assert svc.capacity == 3
+        finally:
+            svc.close()
+
+    def test_closed_service_refuses_submissions(self):
+        svc = SimulationService(workers=1)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(LaunchSpec(kernel="kern"),
+                       module=_barrier_loop_module(3))
+
+    def test_submit_needs_exactly_one_payload_source(self):
+        with SimulationService(workers=1) as svc:
+            with pytest.raises(ValueError, match="exactly one"):
+                svc.submit(LaunchSpec(kernel="kern"))
+
+
+class TestDevicePool:
+    def test_release_then_acquire_reuses_the_same_device(self):
+        module = _barrier_loop_module(3)
+        pool = DevicePool()
+        gpu = pool.acquire(module)
+        pool.release(gpu, module, None)
+        again = pool.acquire(module)
+        assert again is gpu
+        assert pool.stats.builds == 1 and pool.stats.reuses == 1
+
+    def test_reset_clears_per_request_allocations(self):
+        import numpy as np
+
+        module = _barrier_loop_module(3)
+        pool = DevicePool()
+        gpu = pool.acquire(module)
+        baseline_brk = gpu.memory.global_seg.brk
+        gpu.alloc_array(np.zeros(1024, dtype=np.int64))
+        pool.release(gpu, module, None)
+        warm = pool.acquire(module)
+        assert warm is gpu
+        assert warm.memory.global_seg.brk == baseline_brk
+
+    def test_sanitized_devices_are_never_pooled(self):
+        module = _barrier_loop_module(3)
+        pool = DevicePool()
+        gpu = pool.acquire(module, sanitize=True)
+        pool.release(gpu, module, None)
+        assert pool.idle_count() == 0
+        assert pool.stats.discards == 1
+        assert pool.acquire(module, sanitize=True) is not gpu
+
+    def test_idle_shelf_is_bounded(self):
+        module = _barrier_loop_module(3)
+        pool = DevicePool(max_idle_per_key=1)
+        a, b = pool.acquire(module), pool.acquire(module)
+        pool.release(a, module, None)
+        pool.release(b, module, None)
+        assert pool.idle_count() == 1
+        assert pool.stats.discards == 1
+
+
+class TestKnobs:
+    def test_service_reads_the_serve_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE", "3")
+        svc = SimulationService()
+        try:
+            assert svc.workers == 2
+            assert svc.capacity == 5
+        finally:
+            svc.close()
+
+    def test_max_inflight_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_INFLIGHT", "4")
+        svc = SimulationService(workers=8, queue_depth=8)
+        try:
+            assert svc.capacity == 4
+        finally:
+            svc.close()

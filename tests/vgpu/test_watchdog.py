@@ -1,4 +1,11 @@
-"""Wall-clock watchdog for parallel team simulation."""
+"""Wall-clock watchdog for team simulation — serial and parallel.
+
+Both phase drivers honour the same cooperative abort
+(:class:`repro.vgpu.CooperativeWatchdog`): teams poll the deadline at
+phase boundaries, so ``sim_jobs=1`` launches are bounded exactly like
+``sim_jobs=N`` ones (historically the serial path ignored
+``watchdog_s`` silently).
+"""
 
 import pytest
 
@@ -47,9 +54,23 @@ def test_fast_launch_beats_the_watchdog():
     assert profile.cycles > 0
 
 
-def test_serial_simulation_ignores_the_watchdog():
-    # The watchdog bounds *parallel* simulation only: the serial
-    # reference path stays deterministic and watchdog-free.
+def test_watchdog_aborts_a_long_serial_launch():
+    # Regression: the serial (sim_jobs=1) phase driver used to ignore
+    # watchdog_s silently; it now polls the same cooperative deadline
+    # the parallel driver uses.
+    gpu = VirtualGPU(_barrier_loop_module(500_000))
+    with pytest.raises(WatchdogExpired, match="watchdog"):
+        gpu.launch("kern", [], 2, 2, watchdog_s=0.05)
+
+
+def test_fast_serial_launch_beats_the_watchdog():
     gpu = VirtualGPU(_barrier_loop_module(3))
-    profile = gpu.launch("kern", [], 2, 2, watchdog_s=1e-9)
+    profile = gpu.launch("kern", [], 2, 2, watchdog_s=30.0)
     assert profile.cycles > 0
+
+
+def test_serial_and_parallel_watchdogs_raise_the_same_type():
+    for sim_jobs in (1, 2):
+        gpu = VirtualGPU(_barrier_loop_module(500_000))
+        with pytest.raises(WatchdogExpired):
+            gpu.launch("kern", [], 2, 2, sim_jobs=sim_jobs, watchdog_s=0.02)
