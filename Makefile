@@ -2,14 +2,16 @@
 #
 # `make verify` is the one-shot health check: tier-1 tests, the
 # simulator-throughput smoke, the end-to-end tracing smoke, the
-# fault-injection smoke and the multi-tenant serving smoke (the same
-# cells run under the `simperf`, `trace`, `faults` and `serve` pytest
-# markers).
+# fault-injection smoke, the multi-tenant serving smoke and the
+# per-construct microbenchmark smoke (the same cells run under the
+# `simperf`, `trace`, `faults`, `serve` and `micro` pytest markers),
+# followed by the noise-aware perf-regression gate (`bench compare`,
+# see README "Perf tracking").
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify simperf trace faults serve figures clean
+.PHONY: test verify simperf trace faults serve micro compare figures clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -19,6 +21,8 @@ verify: test
 	$(PYTHON) -m repro.bench trace --smoke
 	$(PYTHON) -m repro.bench faults --smoke
 	$(PYTHON) -m repro.bench serve --smoke --out -
+	$(PYTHON) -m repro.bench micro --smoke
+	$(PYTHON) -m repro.bench compare --baseline
 	@echo "verify: OK"
 
 simperf:
@@ -33,9 +37,17 @@ faults:
 serve:
 	$(PYTHON) -m repro.bench serve
 
+micro:
+	$(PYTHON) -m repro.bench micro
+
+compare:
+	$(PYTHON) -m repro.bench compare --baseline
+
 figures:
 	$(PYTHON) -m repro.bench all
 
+# `clean` deliberately keeps .repro-bench/ — the perf history's value
+# is its persistence across checkouts; delete it explicitly if needed.
 clean:
 	rm -rf .repro-cache .pytest_cache TRACE_*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

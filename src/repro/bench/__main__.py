@@ -14,6 +14,9 @@ Usage::
     python -m repro.bench faults  [--smoke] [--json]
     python -m repro.bench serve   [--tenants N] [--requests N] [--workers N]
                                   [--smoke] [--json] [--out PATH]
+    python -m repro.bench micro   [--smoke] [--json] [--out PATH]
+    python -m repro.bench history
+    python -m repro.bench compare [--baseline] [--run-a ID] [--run-b ID]
     python -m repro.bench json     (machine-readable full report)
     python -m repro.bench all      [--jobs N]
 
@@ -39,6 +42,20 @@ throughput plus p50/p95/p99 latency and queue-wait percentiles — is
 written to ``BENCH_serve.json``; ``--smoke`` runs one request per
 tenant (fast; used by ``make verify``).
 
+``micro`` runs the directive-level microbenchmark sweep (per-construct
+modeled-cycle costs plus Extra-P-style scaling fits, written to
+``BENCH_micro.json``; see README "Perf tracking"); ``--smoke`` keeps
+one grid point of the sweep.
+
+Every ``simperf`` / ``serve`` / ``micro`` CLI run also appends a
+config-keyed record to the append-only history store
+(``.repro-bench/history.jsonl``; ``REPRO_BENCH_HISTORY_DIR``).
+``history`` lists the stored records; ``compare`` diffs the latest run
+of each benchmark against its baseline (previous comparable record,
+else the tracked ``BENCH_*.json``) with noise-aware thresholds and
+exits non-zero on a geomean regression — the ``make verify`` perf
+gate.  ``--run-a``/``--run-b`` diff two specific run ids instead.
+
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 independent (app, build) cells of each figure out over N worker
 processes; repeated invocations share compilations through the
@@ -57,7 +74,7 @@ from repro.bench.harness import APPS
 
 COMMANDS = (
     "fig10", "fig11", "fig12", "fig13", "oversub", "timings", "simperf",
-    "trace", "faults", "serve", "json", "all",
+    "trace", "faults", "serve", "micro", "history", "compare", "json", "all",
 )
 
 
@@ -95,12 +112,14 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="simperf: print the JSON report instead of the table",
+        help="simperf/serve/micro: print the JSON report instead of "
+             "the table",
     )
     parser.add_argument(
         "--out", default=None,
-        help="simperf: report path (default BENCH_sim.json; '-' skips "
-             "writing); trace: Chrome-trace output path",
+        help="simperf/serve/micro: report path (defaults "
+             "BENCH_sim.json / BENCH_serve.json / BENCH_micro.json; "
+             "'-' skips writing); trace: Chrome-trace output path",
     )
     parser.add_argument(
         "--metrics-out", default=None,
@@ -111,7 +130,8 @@ def _parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="trace: run the fixed fast (app, build) smoke cell; "
              "faults: run the reduced scenario set; "
-             "serve: one request per tenant",
+             "serve: one request per tenant; "
+             "micro: one grid point of the construct sweep",
     )
     parser.add_argument(
         "--tenants", type=int, default=8,
@@ -125,6 +145,19 @@ def _parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="serve: service worker threads "
              "(default: REPRO_SERVE_WORKERS or 4)",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="compare: gate the latest run of each benchmark against "
+             "its baseline (this is also the default behaviour)",
+    )
+    parser.add_argument(
+        "--run-a", default=None,
+        help="compare: baseline run id (with --run-b)",
+    )
+    parser.add_argument(
+        "--run-b", default=None,
+        help="compare: candidate run id (with --run-a)",
     )
     return parser
 
@@ -158,7 +191,7 @@ def main(argv) -> int:
             kwargs["build"] = args.build
         print(figures.format_pipeline_timings(figures.pipeline_timings(**kwargs)))
     if what == "simperf":
-        from repro.bench import simperf
+        from repro.bench import history, simperf
 
         if args.quick:
             report = simperf.simperf_matrix(
@@ -172,6 +205,7 @@ def main(argv) -> int:
         out = args.out if args.out is not None else simperf.DEFAULT_OUTPUT
         if out != "-":
             simperf.write_report(report, out)
+        history.append_record(history.record_from_report(report))
         if args.as_json:
             print(simperf.render_json(report))
         else:
@@ -202,7 +236,7 @@ def main(argv) -> int:
         if not report["ok"]:
             return 1
     if what == "serve":
-        from repro.bench import serve_cli
+        from repro.bench import history, serve_cli
 
         report = serve_cli.serve_load(
             tenants=args.tenants,
@@ -212,12 +246,56 @@ def main(argv) -> int:
         out = args.out if args.out is not None else serve_cli.DEFAULT_OUTPUT
         if out != "-":
             serve_cli.write_report(report, out)
+        history.append_record(history.record_from_report(report))
         if args.as_json:
             print(serve_cli.render_json(report))
         else:
             print(serve_cli.format_serve(report))
         if report["totals"]["errors"]:
             return 1
+    if what == "micro":
+        from repro.bench import history, micro
+
+        report = micro.micro_matrix(smoke=args.smoke)
+        # A smoke run never overwrites the tracked full-sweep report
+        # unless an output path was given explicitly.
+        out = args.out if args.out is not None else micro.DEFAULT_OUTPUT
+        if out != "-" and (not args.smoke or args.out is not None):
+            micro.write_report(report, out)
+        history.append_record(history.record_from_report(report))
+        if args.as_json:
+            print(micro.render_json(report))
+        else:
+            print(micro.format_micro(report))
+        if not report["parity_ok"]:
+            return 1
+    if what == "history":
+        from repro.bench import history
+
+        print(history.format_history(history.load_records()))
+    if what == "compare":
+        from repro.bench import history
+
+        if (args.run_a is None) != (args.run_b is None):
+            print("compare: --run-a and --run-b must be given together")
+            return 2
+        if args.run_a is not None:
+            records = {r["run_id"]: r for r in history.load_records()}
+            missing = [r for r in (args.run_a, args.run_b) if r not in records]
+            if missing:
+                print(f"compare: unknown run id(s): {', '.join(missing)}")
+                return 2
+            result = history.compare_records(
+                records[args.run_a], records[args.run_b]
+            )
+            print(history.format_compare(result))
+            if not result["ok"]:
+                return 1
+        else:
+            outcome = history.baseline_compare()
+            print(history.format_baseline_compare(outcome))
+            if not outcome["ok"]:
+                return 1
     if what == "json":
         from repro.bench.report import render_json
 

@@ -17,11 +17,11 @@ vary by machine.
 from __future__ import annotations
 
 import json
-import platform
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.bench import record
 from repro.bench.builds import BUILD_ORDER
 from repro.serve import AdmissionRejected, SimulationService
 
@@ -54,8 +54,11 @@ def percentiles(values: Sequence[float],
             continue
         rank = max(1, -(-p * len(ordered) // 100))  # ceil without math
         out[f"p{p}"] = round(ordered[rank - 1], 6)
-    out["mean"] = round(sum(ordered) / len(ordered), 6) if ordered else 0.0
-    out["max"] = round(ordered[-1], 6) if ordered else 0.0
+    dist = record.stats(ordered)
+    out["mean"] = round(dist["mean"], 6)
+    out["stddev"] = round(dist["stddev"], 6)
+    out["n"] = dist["n"]
+    out["max"] = round(dist["max"], 6) if ordered else 0.0
     return out
 
 
@@ -140,8 +143,11 @@ def serve_load(
     results.sort(key=lambda r: r["request_id"])
     completed = [r for r in results if r["ok"]]
     verified = [r for r in completed if (r["max_error"] or 0.0) < 1e-9]
+    meta = record.meta_block()
     return {
         "benchmark": "serve",
+        "schema_version": record.SCHEMA_VERSION,
+        "meta": meta,
         "config": {
             "tenants": tenants,
             "requests_per_tenant": requests,
@@ -149,8 +155,8 @@ def serve_load(
             "capacity": capacity,
             "build": build,
             "mix": [dict(cell) for cell in REQUEST_MIX],
-            "python": platform.python_version(),
-            "machine": platform.machine(),
+            "python": meta["python"],
+            "machine": meta["machine"],
         },
         "totals": {
             "requests": tenants * requests,

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import json
 import math
-import platform
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.bench import record
 from repro.bench.builds import BUILD_ORDER, CUDA, build_options
 from repro.bench.harness import APPS, SKIP_CUDA
 from repro.toolchain.service import ToolchainSession
@@ -56,7 +56,7 @@ def measure_cell(
     session = session or ToolchainSession()
     size = size or app.default_size()
     compiled = session.compile(app.build_program(size), options)
-    best = math.inf
+    walls: List[float] = []
     profile = None
     for _ in range(max(1, repeats)):
         gpu = VirtualGPU(compiled.module, config=GPUConfig(), engine=engine)
@@ -70,12 +70,14 @@ def measure_cell(
         )
         t0 = time.perf_counter()
         profile = gpu.run(spec).profile
-        best = min(best, time.perf_counter() - t0)
-    best = max(best, 1e-9)
+        walls.append(max(time.perf_counter() - t0, 1e-9))
+    best = min(walls)
+    wall_stats = record.stats(walls)
     return {
         "app": app_name,
         "engine": engine,
         "wall_seconds": round(best, 6),
+        "wall_stats": {k: round(v, 6) for k, v in wall_stats.items()},
         "instructions": profile.instructions,
         "cycles": profile.cycles,
         "insts_per_sec": round(profile.instructions / best, 1),
@@ -121,13 +123,18 @@ def simperf_matrix(
         if ratios
         else 0.0
     )
+    meta = record.meta_block()
     return {
         "benchmark": "simperf",
+        "schema_version": record.SCHEMA_VERSION,
+        "meta": meta,
         "config": {
+            "apps": app_names,
+            "builds": wanted,
             "repeats": repeats,
             "sim_jobs": sim_jobs,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
+            "python": meta["python"],
+            "machine": meta["machine"],
         },
         "cells": cells,
         "speedup_decoded_over_legacy": speedups,

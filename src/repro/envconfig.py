@@ -49,6 +49,15 @@ Knobs
 ``REPRO_SERVE_MAX_INFLIGHT``
     Hard cap on unfinished requests per service; ``0`` (the default)
     derives the cap as workers + queue depth.
+``REPRO_BENCH_HISTORY_DIR``
+    Directory of the append-only benchmark history store
+    (``history.jsonl``; default ``.repro-bench``).  All three benches
+    (``simperf``, ``serve``, ``micro``) append a record per CLI run;
+    ``python -m repro.bench compare`` diffs them.
+``REPRO_BENCH_REGRESSION_PCT``
+    Relative regression threshold (percent) for ``bench compare``
+    (default 5).  A metric only fails when its delta exceeds
+    max(this, k·stddev) — see README "Perf tracking".
 """
 
 from __future__ import annotations
@@ -105,6 +114,10 @@ KNOBS: Dict[str, EnvKnob] = {
                 "queued requests a service holds beyond its workers"),
         EnvKnob("REPRO_SERVE_MAX_INFLIGHT", "int", "0",
                 "hard cap on unfinished served requests (0 = derived)"),
+        EnvKnob("REPRO_BENCH_HISTORY_DIR", "str", ".repro-bench",
+                "append-only benchmark history store directory"),
+        EnvKnob("REPRO_BENCH_REGRESSION_PCT", "float", "5",
+                "bench compare relative regression threshold (%)"),
     )
 }
 
@@ -217,6 +230,15 @@ def serve_queue() -> int:
 def serve_max_in_flight() -> int:
     """0 means "derive from workers + queue depth"."""
     return max(0, env_int("REPRO_SERVE_MAX_INFLIGHT"))
+
+
+def bench_history_dir() -> str:
+    return env_str("REPRO_BENCH_HISTORY_DIR")
+
+
+def bench_regression_pct() -> float:
+    """Relative regression threshold for ``bench compare`` (percent)."""
+    return max(0.0, env_float("REPRO_BENCH_REGRESSION_PCT"))
 
 
 def describe_env() -> str:

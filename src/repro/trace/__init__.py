@@ -42,8 +42,13 @@ from repro.trace.collector import (  # noqa: F401
     tracing_enabled,
 )
 from repro.trace.categories import (  # noqa: F401
+    CATEGORY_NAMES,
     OVERHEAD_CATEGORIES,
     runtime_category,
+)
+from repro.trace.snapshot import (  # noqa: F401
+    OverheadSnapshot,
+    profile_summary,
 )
 from repro.trace.export import (  # noqa: F401
     build_metrics,

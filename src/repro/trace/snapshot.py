@@ -1,0 +1,159 @@
+"""Per-construct overhead snapshots scoped to a region of interest.
+
+The overhead counters in :class:`~repro.vgpu.profiler.KernelProfile`
+describe a *whole launch* — harness setup (``target_init``, the kernel
+prologue's shared-stack frame, the final deinit) is mixed in with the
+construct under study.  :class:`OverheadSnapshot` makes the counters
+differencable: capture one snapshot per launch, then subtract a
+*reference* launch of the same kernel whose only difference is that the
+construct of interest runs fewer (usually zero) times.  Everything the
+two launches share — launch bracket, worksharing setup, argument
+loads — cancels, leaving the modeled cost of the isolated construct.
+That differential is what ``python -m repro.bench micro`` sweeps and
+fits.
+
+Cycle attribution per runtime function (``function_cycles``) is only
+populated while tracing is enabled, so snapshot producers run their
+launches with a :class:`~repro.trace.collector.TraceCollector` attached
+to the device; the call *counts* (``runtime_calls`` et al.) are live on
+the untraced fast path too, which is what lets
+:meth:`LaunchResult.profile_summary <repro.vgpu.launchspec.LaunchResult.
+profile_summary>` surface them for served requests without tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.trace.categories import CATEGORY_NAMES, runtime_category
+
+
+@dataclass(frozen=True)
+class OverheadSnapshot:
+    """Overhead counters of one launch, grouped by paper §III category.
+
+    ``category_cycles`` groups the profile's per-IR-function cycle
+    attribution through :func:`~repro.trace.categories.runtime_category`
+    (uncategorized functions — the app kernel itself, outlined bodies —
+    are deliberately dropped: they are compute, not runtime overhead).
+    Snapshots are value objects: ``delta()`` returns a new snapshot and
+    never mutates either operand.
+    """
+
+    #: Categorized runtime-call executions, by category.
+    runtime_calls: Mapping[str, int] = field(default_factory=dict)
+    #: Modeled cycles spent inside categorized runtime functions, by
+    #: category (empty when the producing launch was untraced).
+    category_cycles: Mapping[str, int] = field(default_factory=dict)
+    barriers_aligned: int = 0
+    barriers_unaligned: int = 0
+    device_mallocs: int = 0
+    device_frees: int = 0
+    #: Whole-launch totals, for context (modeled cycles / instructions).
+    cycles: int = 0
+    instructions: int = 0
+
+    @classmethod
+    def from_profile(cls, profile: Any) -> "OverheadSnapshot":
+        """Capture a snapshot from a :class:`KernelProfile`."""
+        category_cycles: Dict[str, int] = {}
+        for fn, cyc in profile.function_cycles.items():
+            cat = runtime_category(fn)
+            if cat is not None:
+                category_cycles[cat] = category_cycles.get(cat, 0) + cyc
+        return cls(
+            runtime_calls=dict(profile.runtime_calls),
+            category_cycles=category_cycles,
+            barriers_aligned=profile.barriers_aligned,
+            barriers_unaligned=profile.barriers_unaligned,
+            device_mallocs=profile.device_mallocs,
+            device_frees=profile.device_frees,
+            cycles=profile.cycles,
+            instructions=profile.instructions,
+        )
+
+    # ------------------------------------------------------------ algebra --
+
+    def delta(self, reference: "OverheadSnapshot") -> "OverheadSnapshot":
+        """This snapshot minus *reference* (per category, per counter).
+
+        The result isolates whatever the producing launch did *more*
+        than the reference launch; shared setup cost cancels.  Negative
+        per-category values are kept (they indicate the pairing is not
+        actually differential — callers assert on them).
+        """
+        cats = set(self.runtime_calls) | set(reference.runtime_calls)
+        cyc_cats = set(self.category_cycles) | set(reference.category_cycles)
+        return OverheadSnapshot(
+            runtime_calls={
+                c: self.runtime_calls.get(c, 0) - reference.runtime_calls.get(c, 0)
+                for c in sorted(cats)
+            },
+            category_cycles={
+                c: self.category_cycles.get(c, 0)
+                - reference.category_cycles.get(c, 0)
+                for c in sorted(cyc_cats)
+            },
+            barriers_aligned=self.barriers_aligned - reference.barriers_aligned,
+            barriers_unaligned=self.barriers_unaligned - reference.barriers_unaligned,
+            device_mallocs=self.device_mallocs - reference.device_mallocs,
+            device_frees=self.device_frees - reference.device_frees,
+            cycles=self.cycles - reference.cycles,
+            instructions=self.instructions - reference.instructions,
+        )
+
+    def per_call_cycles(self, category: str) -> Optional[float]:
+        """Modeled cycles per categorized call in *category*.
+
+        None when the snapshot saw no calls in that category (or was
+        produced untraced, i.e. has counts but no cycle attribution).
+        """
+        calls = self.runtime_calls.get(category, 0)
+        cycles = self.category_cycles.get(category, 0)
+        if calls <= 0 or cycles <= 0:
+            return None
+        return cycles / calls
+
+    # ------------------------------------------------------------- export --
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "runtime_calls": {
+                k: v for k, v in sorted(self.runtime_calls.items()) if v
+            },
+            "category_cycles": {
+                k: v for k, v in sorted(self.category_cycles.items()) if v
+            },
+            "barriers_aligned": self.barriers_aligned,
+            "barriers_unaligned": self.barriers_unaligned,
+            "device_mallocs": self.device_mallocs,
+            "device_frees": self.device_frees,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+        }
+
+
+def profile_summary(profile: Any) -> Dict[str, Any]:
+    """Flat per-construct summary of one launch's overhead counters.
+
+    The no-tracing-needed view :class:`LaunchResult` exposes: runtime
+    calls by §III category (every category present, zero-filled, so
+    consumers can rely on the schema), the aligned/unaligned barrier
+    split, and the global-fallback malloc/free counts.
+    """
+    return {
+        "runtime_calls": {
+            cat: int(profile.runtime_calls.get(cat, 0)) for cat in CATEGORY_NAMES
+        },
+        "barriers": {
+            "total": profile.barriers,
+            "aligned": profile.barriers_aligned,
+            "unaligned": profile.barriers_unaligned,
+        },
+        "global_fallback": {
+            "mallocs": profile.device_mallocs,
+            "frees": profile.device_frees,
+        },
+        "shared_stack_high_water": profile.shared_stack_high_water,
+    }

@@ -186,3 +186,18 @@ class LaunchResult:
     @property
     def cycles(self) -> int:
         return self.profile.cycles if self.profile is not None else 0
+
+    def profile_summary(self) -> Optional[dict]:
+        """Per-construct overhead counters of this launch.
+
+        Runtime calls by paper §III category, the aligned/unaligned
+        barrier split, and global-fallback malloc/free counts — all
+        live on the untraced fast path, so served requests are
+        per-construct observable without enabling full tracing.  None
+        for failed served requests (no profile).
+        """
+        if self.profile is None:
+            return None
+        from repro.trace.snapshot import profile_summary
+
+        return profile_summary(self.profile)

@@ -24,7 +24,12 @@ class TestPercentiles:
     def test_empty_input(self):
         out = serve_cli.percentiles([])
         assert out == {"p50": 0.0, "p95": 0.0, "p99": 0.0,
-                       "mean": 0.0, "max": 0.0}
+                       "mean": 0.0, "max": 0.0, "stddev": 0.0, "n": 0}
+
+    def test_spread_stats_for_history_records(self):
+        out = serve_cli.percentiles([1.0, 2.0, 3.0])
+        assert out["stddev"] == pytest.approx(1.0)
+        assert out["n"] == 3
 
 
 @pytest.fixture(scope="module")

@@ -103,6 +103,7 @@ class TestRegistry:
             "REPRO_FAULTS", "REPRO_SANITIZE", "REPRO_WATCHDOG_S",
             "REPRO_SERVE_WORKERS", "REPRO_SERVE_QUEUE",
             "REPRO_SERVE_MAX_INFLIGHT",
+            "REPRO_BENCH_HISTORY_DIR", "REPRO_BENCH_REGRESSION_PCT",
         }
         assert expected == set(envconfig.KNOBS)
 
@@ -167,6 +168,38 @@ class TestServeKnobs:
         assert resolve_serve_workers(2) == 2
         assert resolve_serve_queue(0) == 0
         assert resolve_serve_max_in_flight(1) == 1
+
+
+class TestBenchKnobs:
+    def test_history_dir_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_HISTORY_DIR", raising=False)
+        assert envconfig.bench_history_dir() == ".repro-bench"
+
+    def test_history_dir_passthrough(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HISTORY_DIR", "/tmp/perf-store")
+        assert envconfig.bench_history_dir() == "/tmp/perf-store"
+
+    def test_regression_pct_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_REGRESSION_PCT", raising=False)
+        assert envconfig.bench_regression_pct() == 5.0
+
+    def test_regression_pct_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REGRESSION_PCT", "2.5")
+        assert envconfig.bench_regression_pct() == 2.5
+
+    def test_regression_pct_malformed_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REGRESSION_PCT", "strict")
+        assert envconfig.bench_regression_pct() == 5.0
+
+    def test_regression_pct_negative_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REGRESSION_PCT", "-10")
+        assert envconfig.bench_regression_pct() == 0.0
+
+    def test_history_consumers_delegate(self, monkeypatch, tmp_path):
+        from repro.bench import history
+
+        monkeypatch.setenv("REPRO_BENCH_HISTORY_DIR", str(tmp_path / "h"))
+        assert history.history_path() == str(tmp_path / "h" / "history.jsonl")
 
 
 class TestDelegation:

@@ -77,6 +77,81 @@ class TestDisabledPath:
                    for e in collector.events_snapshot())
 
 
+class TestBenchMachineryStaysOffHotPath:
+    """The perf-history store and microbenchmark suite must cost a
+    plain launch nothing: no imports, no history I/O, no extra Python
+    per instruction."""
+
+    def test_plain_launch_never_imports_bench_observability(self, monkeypatch):
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.bench.harness import APPS\n"
+            "from repro.bench.builds import BUILD_ORDER, build_options\n"
+            "from repro.toolchain.service import ToolchainSession\n"
+            "from repro.vgpu import GPUConfig, VirtualGPU\n"
+            "app = APPS['testsnap']\n"
+            "size = {'n_atoms': 64, 'n_neighbors': 4}\n"
+            "compiled = ToolchainSession().compile(\n"
+            "    app.build_program(size), build_options()[BUILD_ORDER[0]])\n"
+            "gpu = VirtualGPU(compiled.module, config=GPUConfig())\n"
+            "host_args, _ = app.prepare(gpu, size)\n"
+            "args = compiled.abi(app.KERNEL).marshal(gpu, host_args)\n"
+            "gpu.launch(app.KERNEL, args, app.TEAMS, app.THREADS)\n"
+            "bad = [m for m in ('repro.bench.history', 'repro.bench.micro',\n"
+            "                   'repro.bench.record') if m in sys.modules]\n"
+            "assert not bad, bad\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_plain_launch_touches_no_history_store(self, tmp_path, monkeypatch):
+        from repro.bench import history
+
+        store = tmp_path / "hist"
+        monkeypatch.setenv("REPRO_BENCH_HISTORY_DIR", str(store))
+
+        def boom(*a, **k):  # pragma: no cover - must not execute
+            raise AssertionError("history store touched by a plain launch")
+
+        monkeypatch.setattr(history, "append_record", boom)
+        monkeypatch.setattr(history, "load_records", boom)
+        _launch("decoded")
+        assert not store.exists()
+
+    @pytest.mark.parametrize("engine", ["legacy", "decoded"])
+    def test_profile_summary_reads_only_existing_counters(self, engine,
+                                                          monkeypatch):
+        """``profile_summary`` is pure post-hoc aggregation: asking for
+        it after an untraced launch must not re-enter any traced loop
+        or populate trace-only fields."""
+        def boom(*a, **k):  # pragma: no cover - must not execute
+            raise AssertionError("traced loop entered for profile_summary")
+
+        monkeypatch.setattr(decode_mod, "_run_thread_traced", boom)
+        monkeypatch.setattr(interp_mod.VirtualGPU, "_run_thread_traced", boom)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        reset()
+        try:
+            gpu, profile = _launch(engine)
+        finally:
+            reset()
+        from repro.trace.snapshot import profile_summary
+
+        summary = profile_summary(profile)
+        assert profile.function_cycles == {}
+        assert summary["barriers"]["total"] >= 0
+        # Consistent with the fast-path counters the launch did keep.
+        assert sum(summary["runtime_calls"].values()) == sum(
+            profile.runtime_calls.values()
+        )
+
+
 @pytest.mark.simperf
 def test_disabled_tracing_throughput_guard():
     """Generous wall-clock smoke: a disabled-trace launch must not be

@@ -1,0 +1,116 @@
+"""OverheadSnapshot scoping + LaunchResult.profile_summary."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.trace import CATEGORY_NAMES, OverheadSnapshot
+from repro.vgpu.profiler import KernelProfile
+
+
+def _profile(**overrides) -> KernelProfile:
+    profile = KernelProfile("k", 2, 4)
+    profile.cycles = 1000
+    profile.instructions = 500
+    profile.runtime_calls = Counter({"sync": 8, "icv_query": 24})
+    profile.function_cycles = Counter({
+        "__kmpc_barrier": 160,          # sync
+        "omp_get_thread_num": 120,      # icv_query
+        "__omp_outlined.k": 400,        # uncategorized: app code
+    })
+    profile.barriers = 8
+    profile.barriers_aligned = 8
+    profile.device_mallocs = 2
+    profile.device_frees = 2
+    for key, value in overrides.items():
+        setattr(profile, key, value)
+    return profile
+
+
+class TestOverheadSnapshot:
+    def test_from_profile_groups_cycles_by_category(self):
+        snap = OverheadSnapshot.from_profile(_profile())
+        assert snap.category_cycles == {"sync": 160, "icv_query": 120}
+        assert snap.runtime_calls == {"sync": 8, "icv_query": 24}
+        # App code is compute, not runtime overhead.
+        assert "__omp_outlined.k" not in snap.category_cycles
+
+    def test_delta_cancels_shared_setup(self):
+        hi = OverheadSnapshot.from_profile(_profile(
+            runtime_calls=Counter({"sync": 16, "icv_query": 24}),
+            function_cycles=Counter({
+                "__kmpc_barrier": 480, "omp_get_thread_num": 120,
+            }),
+            cycles=1400,
+        ))
+        lo = OverheadSnapshot.from_profile(_profile())
+        d = hi.delta(lo)
+        assert d.runtime_calls["sync"] == 8
+        assert d.runtime_calls["icv_query"] == 0
+        assert d.category_cycles["sync"] == 320
+        assert d.cycles == 400
+        assert d.per_call_cycles("sync") == 40.0
+
+    def test_per_call_cycles_none_without_calls_or_cycles(self):
+        snap = OverheadSnapshot.from_profile(_profile())
+        assert snap.per_call_cycles("worksharing") is None
+        untraced = OverheadSnapshot.from_profile(
+            _profile(function_cycles=Counter())
+        )
+        assert untraced.per_call_cycles("sync") is None
+
+    def test_to_dict_drops_zero_entries(self):
+        d = OverheadSnapshot.from_profile(_profile()).delta(
+            OverheadSnapshot.from_profile(_profile())
+        ).to_dict()
+        assert d["runtime_calls"] == {}
+        assert d["category_cycles"] == {}
+
+
+class TestLaunchResultProfileSummary:
+    @pytest.fixture(scope="class")
+    def launch_result(self):
+        from repro.bench.micro import build_micro_program, runtime_options
+        from repro.toolchain.service import ToolchainSession
+        from repro.vgpu import GPUConfig, LaunchSpec, VirtualGPU
+
+        compiled = ToolchainSession().compile(
+            build_micro_program([1]), runtime_options("newrt")
+        )
+        gpu = VirtualGPU(compiled.module, config=GPUConfig())
+        spec = LaunchSpec(
+            kernel="barriers", num_teams=2, threads_per_team=4,
+            args=tuple(
+                compiled.abi("barriers").marshal(gpu, {"n": 8, "reps": 3})
+            ),
+        )
+        return gpu.run(spec)
+
+    def test_summary_without_tracing(self, launch_result):
+        """The counters behind the summary live on the untraced fast
+        path — no collector was installed for this launch."""
+        summary = launch_result.profile_summary()
+        assert launch_result.profile.function_cycles == {}  # untraced
+        assert set(summary["runtime_calls"]) == set(CATEGORY_NAMES)
+        assert summary["runtime_calls"]["sync"] > 0
+        assert summary["runtime_calls"]["parallel_region"] > 0
+        assert summary["barriers"]["total"] == (
+            summary["barriers"]["aligned"] + summary["barriers"]["unaligned"]
+        )
+        assert summary["global_fallback"] == {"mallocs": 0, "frees": 0}
+
+    def test_summary_matches_profile_counters(self, launch_result):
+        summary = launch_result.profile_summary()
+        profile = launch_result.profile
+        for category, count in profile.runtime_calls.items():
+            assert summary["runtime_calls"][category] == count
+        assert summary["shared_stack_high_water"] == profile.shared_stack_high_water
+
+    def test_summary_none_without_profile(self, launch_result):
+        import copy
+
+        failed = copy.copy(launch_result)
+        failed.profile = None
+        assert failed.profile_summary() is None
