@@ -2,16 +2,17 @@
 #
 # `make verify` is the one-shot health check: tier-1 tests, the
 # simulator-throughput smoke, the end-to-end tracing smoke, the
-# fault-injection smoke, the multi-tenant serving smoke and the
-# per-construct microbenchmark smoke (the same cells run under the
-# `simperf`, `trace`, `faults`, `serve` and `micro` pytest markers),
-# followed by the noise-aware perf-regression gate (`bench compare`,
-# see README "Perf tracking").
+# fault-injection smoke, the multi-tenant serving smoke, the
+# per-construct microbenchmark smoke and the serve-resilience chaos
+# smoke (the same cells run under the `simperf`, `trace`, `faults`,
+# `serve`, `micro` and `chaos` pytest markers), followed by the
+# noise-aware perf-regression gate (`bench compare`, see README
+# "Perf tracking").
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify simperf trace faults serve micro compare figures clean
+.PHONY: test verify simperf trace faults serve micro chaos compare figures clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -22,6 +23,7 @@ verify: test
 	$(PYTHON) -m repro.bench faults --smoke
 	$(PYTHON) -m repro.bench serve --smoke --out -
 	$(PYTHON) -m repro.bench micro --smoke
+	$(PYTHON) -m repro.bench chaos --smoke
 	$(PYTHON) -m repro.bench compare --baseline
 	@echo "verify: OK"
 
@@ -39,6 +41,9 @@ serve:
 
 micro:
 	$(PYTHON) -m repro.bench micro
+
+chaos:
+	$(PYTHON) -m repro.bench chaos
 
 compare:
 	$(PYTHON) -m repro.bench compare --baseline

@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench serve   [--tenants N] [--requests N] [--workers N]
                                   [--smoke] [--json] [--out PATH]
     python -m repro.bench micro   [--smoke] [--json] [--out PATH]
+    python -m repro.bench chaos   [--smoke] [--json] [--out PATH]
     python -m repro.bench history
     python -m repro.bench compare [--baseline] [--run-a ID] [--run-b ID]
     python -m repro.bench json     (machine-readable full report)
@@ -47,6 +48,14 @@ modeled-cycle costs plus Extra-P-style scaling fits, written to
 ``BENCH_micro.json``; see README "Perf tracking"); ``--smoke`` keeps
 one grid point of the sweep.
 
+``chaos`` runs the serve-layer chaos harness: scripted worker-death /
+compile-stall / slow-request / drain scenarios asserting the
+resilience invariants (no request lost, every failure structured,
+breaker opens and half-closes, shedding stays fast; see README
+"Serving"), written to ``BENCH_chaos.json`` and exiting non-zero on
+any violated invariant; ``--smoke`` runs the same scenarios at reduced
+request counts (used by ``make verify``).
+
 Every ``simperf`` / ``serve`` / ``micro`` CLI run also appends a
 config-keyed record to the append-only history store
 (``.repro-bench/history.jsonl``; ``REPRO_BENCH_HISTORY_DIR``).
@@ -74,7 +83,8 @@ from repro.bench.harness import APPS
 
 COMMANDS = (
     "fig10", "fig11", "fig12", "fig13", "oversub", "timings", "simperf",
-    "trace", "faults", "serve", "micro", "history", "compare", "json", "all",
+    "trace", "faults", "serve", "micro", "chaos", "history", "compare",
+    "json", "all",
 )
 
 
@@ -131,7 +141,8 @@ def _parser() -> argparse.ArgumentParser:
         help="trace: run the fixed fast (app, build) smoke cell; "
              "faults: run the reduced scenario set; "
              "serve: one request per tenant; "
-             "micro: one grid point of the construct sweep",
+             "micro: one grid point of the construct sweep; "
+             "chaos: reduced request counts per scenario",
     )
     parser.add_argument(
         "--tenants", type=int, default=8,
@@ -268,6 +279,22 @@ def main(argv) -> int:
         else:
             print(micro.format_micro(report))
         if not report["parity_ok"]:
+            return 1
+    if what == "chaos":
+        from repro.bench import chaos_cli, history
+
+        report = chaos_cli.chaos_suite(smoke=args.smoke)
+        # A smoke run never overwrites the tracked full report unless
+        # an output path was given explicitly.
+        out = args.out if args.out is not None else chaos_cli.DEFAULT_OUTPUT
+        if out != "-" and (not args.smoke or args.out is not None):
+            chaos_cli.write_report(report, out)
+        history.append_record(history.record_from_report(report))
+        if args.as_json:
+            print(chaos_cli.render_json(report))
+        else:
+            print(chaos_cli.format_chaos(report))
+        if not report["ok"]:
             return 1
     if what == "history":
         from repro.bench import history

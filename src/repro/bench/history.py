@@ -48,6 +48,7 @@ TRACKED_BASELINES = {
     "simperf": "BENCH_sim.json",
     "serve": "BENCH_serve.json",
     "micro": "BENCH_micro.json",
+    "chaos": "BENCH_chaos.json",
 }
 
 
@@ -111,6 +112,8 @@ def record_from_report(report: Dict[str, Any]) -> Dict[str, Any]:
         metrics = _serve_metrics(report)
     elif benchmark == "micro":
         metrics = _micro_metrics(report)
+    elif benchmark == "chaos":
+        metrics = _chaos_metrics(report)
     else:
         raise KeyError(f"cannot build a history record from {benchmark!r}")
     return record.make_record(
@@ -170,6 +173,26 @@ def _serve_metrics(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         wait["p95"], stddev=wait.get("stddev", 0.0), n=n,
         better=record.BETTER_LOWER, kind=record.KIND_WALL,
     )
+    return metrics
+
+
+def _chaos_metrics(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Wall metrics of the chaos suite: total time and the speed of
+    shedding (p99 time-to-verdict of shed requests).  Invariant
+    verdicts are pass/fail, not metrics — the CLI exits non-zero on a
+    violation instead of recording a regression."""
+    shed = report.get("shed_latency_s") or {}
+    metrics = {
+        "wall/suite_s": record.metric(
+            report["wall_seconds"],
+            better=record.BETTER_LOWER, kind=record.KIND_WALL,
+        ),
+    }
+    if shed.get("n"):
+        metrics["wall/shed_verdict_p99_s"] = record.metric(
+            shed["p99"], stddev=shed.get("stddev", 0.0), n=shed["n"],
+            better=record.BETTER_LOWER, kind=record.KIND_WALL,
+        )
     return metrics
 
 

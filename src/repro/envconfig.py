@@ -49,6 +49,21 @@ Knobs
 ``REPRO_SERVE_MAX_INFLIGHT``
     Hard cap on unfinished requests per service; ``0`` (the default)
     derives the cap as workers + queue depth.
+``REPRO_SERVE_RETRIES``
+    Total launch attempts per served request (default 2 = the
+    original behaviour of one decoded run plus one legacy retry on an
+    internal engine fault; 1 disables retries).
+``REPRO_SERVE_BACKOFF_S``
+    Base of the exponential retry backoff in seconds (default 0 = no
+    sleep between attempts); each attempt waits
+    ``base * 2**(attempt-1)`` with deterministic jitter, capped.
+``REPRO_SERVE_BREAKER_THRESHOLD``
+    Consecutive *internal* failures of one (program, options) after
+    which its circuit breaker opens (default 5; 0 disables breaking).
+``REPRO_SERVE_DRAIN_S``
+    Default drain budget for ``SimulationService.close()`` in seconds;
+    ``0`` (the default) drains without a deadline (the pre-resilience
+    behaviour).
 ``REPRO_BENCH_HISTORY_DIR``
     Directory of the append-only benchmark history store
     (``history.jsonl``; default ``.repro-bench``).  All three benches
@@ -114,6 +129,16 @@ KNOBS: Dict[str, EnvKnob] = {
                 "queued requests a service holds beyond its workers"),
         EnvKnob("REPRO_SERVE_MAX_INFLIGHT", "int", "0",
                 "hard cap on unfinished served requests (0 = derived)"),
+        EnvKnob("REPRO_SERVE_RETRIES", "int", "2",
+                "total launch attempts per served request (1 = no retry)"),
+        EnvKnob("REPRO_SERVE_BACKOFF_S", "float", "0",
+                "retry backoff base in seconds (0 = immediate retry)"),
+        EnvKnob("REPRO_SERVE_BREAKER_THRESHOLD", "int", "5",
+                "consecutive internal failures that open a circuit "
+                "breaker (0 = disabled)"),
+        EnvKnob("REPRO_SERVE_DRAIN_S", "float", "0",
+                "default SimulationService.close() drain budget (s; "
+                "0 = unbounded)"),
         EnvKnob("REPRO_BENCH_HISTORY_DIR", "str", ".repro-bench",
                 "append-only benchmark history store directory"),
         EnvKnob("REPRO_BENCH_REGRESSION_PCT", "float", "5",
@@ -230,6 +255,26 @@ def serve_queue() -> int:
 def serve_max_in_flight() -> int:
     """0 means "derive from workers + queue depth"."""
     return max(0, env_int("REPRO_SERVE_MAX_INFLIGHT"))
+
+
+def serve_retries() -> int:
+    """Total launch attempts per served request (minimum 1)."""
+    return max(1, env_int("REPRO_SERVE_RETRIES"))
+
+
+def serve_backoff_s() -> float:
+    """Retry backoff base in seconds (0 = immediate retry)."""
+    return max(0.0, env_float("REPRO_SERVE_BACKOFF_S"))
+
+
+def serve_breaker_threshold() -> int:
+    """Consecutive internal failures that open a breaker (0 = off)."""
+    return max(0, env_int("REPRO_SERVE_BREAKER_THRESHOLD"))
+
+
+def serve_drain_s() -> float:
+    """Default ``close()`` drain budget in seconds (0 = unbounded)."""
+    return max(0.0, env_float("REPRO_SERVE_DRAIN_S"))
 
 
 def bench_history_dir() -> str:

@@ -1,19 +1,34 @@
 """Multi-tenant async simulation service over the request-object API.
 
 See :mod:`repro.serve.service` for the architecture overview and the
-README "Serving" section for usage.
+README "Serving" section for usage.  Resilience primitives (deadlines,
+retry policy, circuit breaking, drain-rate hints) live in
+:mod:`repro.serve.resilience`; service-level chaos injection in
+:mod:`repro.serve.chaos` (imported only when a service is built with a
+chaos plan).
 """
 
 from repro.serve.errors import (  # noqa: F401
     AdmissionRejected,
+    CircuitOpen,
+    DeadlineExceeded,
+    RequestCancelled,
     ServeError,
     ServiceClosed,
 )
 from repro.serve.pool import DevicePool, PoolStats  # noqa: F401
+from repro.serve.resilience import (  # noqa: F401
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    DrainRateTracker,
+    RetryPolicy,
+)
 from repro.serve.service import (  # noqa: F401
     ServeJob,
     ServeStats,
     SimulationService,
+    resolve_serve_drain,
     resolve_serve_max_in_flight,
     resolve_serve_queue,
     resolve_serve_workers,

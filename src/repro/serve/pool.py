@@ -28,10 +28,13 @@ class PoolStats:
     builds: int = 0
     reuses: int = 0
     discards: int = 0
+    #: Devices currently checked out (acquired, not yet released or
+    #: discarded) — a liveness gauge for ``SimulationService.health()``.
+    in_use: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {"builds": self.builds, "reuses": self.reuses,
-                "discards": self.discards}
+                "discards": self.discards, "in_use": self.in_use}
 
 
 def _pool_key(module, config, env) -> Tuple:
@@ -81,9 +84,11 @@ class DevicePool:
                 shelf = self._idle.get(key)
                 if shelf:
                     self.stats.reuses += 1
+                    self.stats.in_use += 1
                     return shelf.pop()
         with self._lock:
             self.stats.builds += 1
+            self.stats.in_use += 1
         return VirtualGPU(module, config=config or DEFAULT_CONFIG,
                           sanitize=sanitize, env=env)
 
@@ -93,15 +98,18 @@ class DevicePool:
         if not gpu.resettable:
             with self._lock:
                 self.stats.discards += 1
+                self.stats.in_use -= 1
             return
         try:
             gpu.reset_device()
         except Exception:
             with self._lock:
                 self.stats.discards += 1
+                self.stats.in_use -= 1
             return
         key = _pool_key(module, config, env)
         with self._lock:
+            self.stats.in_use -= 1
             shelf = self._idle.setdefault(key, [])
             if len(shelf) >= self.max_idle_per_key:
                 self.stats.discards += 1
@@ -112,6 +120,7 @@ class DevicePool:
         """Drop *gpu* without reuse (e.g. after an internal engine fault)."""
         with self._lock:
             self.stats.discards += 1
+            self.stats.in_use -= 1
 
     def idle_count(self) -> int:
         with self._lock:

@@ -44,6 +44,11 @@ FAULT_EVENT_CATEGORY = "fault"
 #: whose exception is a :class:`~repro.vgpu.errors.SanitizerError`).
 SANITIZER_EVENT_CATEGORY = "sanitizer"
 
+#: Chrome-trace ``cat`` for serving-layer events (``serve.submit``
+#: instants, ``serve.request``/``serve.attempt`` spans, ``serve.shed``
+#: instants and the ``serve.health`` counter track).
+SERVE_EVENT_CATEGORY = "serve"
+
 _lookup = OVERHEAD_CATEGORIES.get
 
 

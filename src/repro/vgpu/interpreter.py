@@ -440,6 +440,12 @@ class VirtualGPU:
             self.memory.begin_launch()
         jobs = resolve_sim_jobs(spec.sim_jobs, num_teams)
         watchdog_s = resolve_watchdog(spec.watchdog_s)
+        if spec.deadline_s is not None:
+            # A direct run starts its budget now, so the deadline is a
+            # whole-launch watchdog bound (the serve layer instead
+            # clamps to the *remaining* budget before handing off).
+            budget = max(spec.deadline_s, 1e-3)
+            watchdog_s = budget if watchdog_s <= 0 else min(watchdog_s, budget)
         abort = CooperativeWatchdog(watchdog_s) if watchdog_s > 0 else None
         try:
             if jobs == 1:

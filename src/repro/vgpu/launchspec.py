@@ -57,6 +57,13 @@ class LaunchSpec:
     #: 0 disables).  Honoured by both the serial and the parallel
     #: phase drivers (cooperative abort at phase boundaries).
     watchdog_s: Optional[float] = None
+    #: End-to-end wall-clock budget in seconds (None = no deadline).
+    #: On a direct ``run()`` it tightens the watchdog; submitted to a
+    #: service it flows request→queue→compile→watchdog: a request
+    #: expiring in queue is shed with a structured ``DeadlineExceeded``
+    #: before wasting a worker, and the *remaining* budget (never the
+    #: original) becomes the device watchdog.
+    deadline_s: Optional[float] = None
     #: Execution engine override for this launch (``decoded`` /
     #: ``legacy``; None = the device's engine).
     engine: Optional[str] = None
@@ -88,6 +95,8 @@ class LaunchSpec:
             raise ValueError("LaunchSpec.sim_jobs must be >= 1 (or None)")
         if self.watchdog_s is not None and self.watchdog_s < 0:
             raise ValueError("LaunchSpec.watchdog_s must be >= 0 (or None)")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("LaunchSpec.deadline_s must be >= 0 (or None)")
         if self.engine is not None:
             from repro.vgpu.config import resolve_sim_engine
 
@@ -117,6 +126,8 @@ class LaunchSpec:
             bits.append(f"dynshared={self.dynamic_shared_bytes}B")
         if self.sim_jobs is not None:
             bits.append(f"sim_jobs={self.sim_jobs}")
+        if self.deadline_s is not None:
+            bits.append(f"deadline={self.deadline_s:g}s")
         if self.engine is not None:
             bits.append(self.engine)
         if self.request_id is not None:

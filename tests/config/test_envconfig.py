@@ -103,6 +103,8 @@ class TestRegistry:
             "REPRO_FAULTS", "REPRO_SANITIZE", "REPRO_WATCHDOG_S",
             "REPRO_SERVE_WORKERS", "REPRO_SERVE_QUEUE",
             "REPRO_SERVE_MAX_INFLIGHT",
+            "REPRO_SERVE_RETRIES", "REPRO_SERVE_BACKOFF_S",
+            "REPRO_SERVE_BREAKER_THRESHOLD", "REPRO_SERVE_DRAIN_S",
             "REPRO_BENCH_HISTORY_DIR", "REPRO_BENCH_REGRESSION_PCT",
         }
         assert expected == set(envconfig.KNOBS)
@@ -168,6 +170,58 @@ class TestServeKnobs:
         assert resolve_serve_workers(2) == 2
         assert resolve_serve_queue(0) == 0
         assert resolve_serve_max_in_flight(1) == 1
+
+
+class TestResilienceKnobs:
+    def test_defaults(self, monkeypatch):
+        for name in ("REPRO_SERVE_RETRIES", "REPRO_SERVE_BACKOFF_S",
+                     "REPRO_SERVE_BREAKER_THRESHOLD", "REPRO_SERVE_DRAIN_S"):
+            monkeypatch.delenv(name, raising=False)
+        assert envconfig.serve_retries() == 2  # old one-shot retry
+        assert envconfig.serve_backoff_s() == 0.0
+        assert envconfig.serve_breaker_threshold() == 5
+        assert envconfig.serve_drain_s() == 0.0  # 0 = unbounded drain
+
+    def test_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_RETRIES", "4")
+        monkeypatch.setenv("REPRO_SERVE_BACKOFF_S", "0.25")
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_THRESHOLD", "3")
+        monkeypatch.setenv("REPRO_SERVE_DRAIN_S", "1.5")
+        assert envconfig.serve_retries() == 4
+        assert envconfig.serve_backoff_s() == 0.25
+        assert envconfig.serve_breaker_threshold() == 3
+        assert envconfig.serve_drain_s() == 1.5
+
+    def test_clamping_and_malformed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_RETRIES", "0")
+        assert envconfig.serve_retries() == 1  # at least one attempt
+        monkeypatch.setenv("REPRO_SERVE_BACKOFF_S", "-1")
+        assert envconfig.serve_backoff_s() == 0.0
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_THRESHOLD", "-2")
+        assert envconfig.serve_breaker_threshold() == 0  # 0 = disabled
+        monkeypatch.setenv("REPRO_SERVE_DRAIN_S", "soon")
+        assert envconfig.serve_drain_s() == 0.0  # fallback default
+
+    def test_policy_resolvers_delegate(self, monkeypatch):
+        from repro.serve.resilience import BreakerPolicy, RetryPolicy
+        from repro.serve.service import resolve_serve_drain
+
+        monkeypatch.setenv("REPRO_SERVE_RETRIES", "3")
+        monkeypatch.setenv("REPRO_SERVE_BACKOFF_S", "0.1")
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_THRESHOLD", "7")
+        monkeypatch.setenv("REPRO_SERVE_DRAIN_S", "2.0")
+        policy = RetryPolicy.resolve()
+        assert policy.max_attempts == 3
+        assert policy.backoff_base_s == 0.1
+        assert BreakerPolicy.resolve().threshold == 7
+        assert resolve_serve_drain() == 2.0
+        # Explicit arguments win over the environment.
+        assert RetryPolicy.resolve(RetryPolicy(max_attempts=1)).max_attempts == 1
+        assert BreakerPolicy.resolve(BreakerPolicy(threshold=0)).threshold == 0
+        assert resolve_serve_drain(0.5) == 0.5
+        # 0 / unset means "no drain deadline".
+        monkeypatch.setenv("REPRO_SERVE_DRAIN_S", "0")
+        assert resolve_serve_drain() is None
 
 
 class TestBenchKnobs:

@@ -58,6 +58,7 @@ class TestLaunchSpecValidation:
         ("dynamic_shared_bytes", -1),
         ("sim_jobs", 0),
         ("watchdog_s", -0.5),
+        ("deadline_s", -0.1),
     ])
     def test_bounds_are_validated(self, field, value):
         with pytest.raises(ValueError, match=field):
@@ -84,6 +85,15 @@ class TestLaunchSpecValidation:
         text = LaunchSpec(kernel="kern", num_teams=2, threads_per_team=8,
                           request_id="r7").describe()
         assert "@kern" in text and "2x8" in text and "req=r7" in text
+
+    def test_deadline_defaults_off_and_travels_through_replace(self):
+        spec = LaunchSpec(kernel="kern")
+        assert spec.deadline_s is None
+        assert "deadline" not in spec.describe()
+        budgeted = spec.replace(deadline_s=0.25)
+        assert budgeted.deadline_s == 0.25
+        assert "deadline=0.25s" in budgeted.describe()
+        assert LaunchSpec(kernel="kern", deadline_s=0.0).deadline_s == 0.0
 
 
 class TestRun:
