@@ -21,10 +21,11 @@ Usage::
     python -m repro.bench json     (machine-readable full report)
     python -m repro.bench all      [--jobs N]
 
-``simperf`` benchmarks the simulator itself (decoded vs. legacy engine
-throughput across the app × build matrix) and writes its JSON report
-to ``BENCH_sim.json`` (tracked in git); ``--json`` prints the report
-to stdout instead of the table, ``--quick`` runs a single-cell smoke.
+``simperf`` benchmarks the simulator itself (legacy vs. decoded vs.
+warp engine throughput across the app × build matrix) and writes its
+JSON report to ``BENCH_sim.json`` (tracked in git); ``--json`` prints
+the report to stdout instead of the table, ``--quick`` runs a
+single-cell smoke (all three engines on one app/build).
 
 ``trace`` runs one (app, build) cell with the :mod:`repro.trace`
 collector enabled and writes a Perfetto-viewable Chrome Trace Format
@@ -205,8 +206,11 @@ def main(argv) -> int:
         from repro.bench import history, simperf
 
         if args.quick:
+            # BUILD_ORDER[1] (New RT (Nightly)) rather than [0]: the
+            # old runtime is not lockstep-safe, and the smoke should
+            # exercise true warp vectorization, not its fallback.
             report = simperf.simperf_matrix(
-                apps=["testsnap"], builds=[BUILD_ORDER[0]],
+                apps=["testsnap"], builds=[BUILD_ORDER[1]],
                 repeats=1, sim_jobs=args.sim_jobs,
             )
         else:

@@ -35,6 +35,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import envconfig
 from repro.bench import record
+from repro.bench.builds import BUILD_ORDER
+from repro.bench.harness import APPS
 
 #: History file name inside the store directory.
 HISTORY_FILE = "history.jsonl"
@@ -144,12 +146,28 @@ def _simperf_metrics(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
                 better=record.BETTER_LOWER,
                 kind=record.KIND_MODEL,
             )
-    if report.get("geomean_speedup"):
-        metrics["wall/geomean_speedup"] = record.metric(
-            report["geomean_speedup"],
-            better=record.BETTER_HIGHER,
-            kind=record.KIND_WALL,
-        )
+    # Geomeans are only comparable between runs that averaged the same
+    # population: emit them for full default sweeps only, so a --quick
+    # single-cell geomean never intersects (and falsely "regresses")
+    # the tracked full-matrix baseline.
+    config = report.get("config", {})
+    full_sweep = (
+        sorted(config.get("apps", [])) == sorted(APPS)
+        and list(config.get("builds", [])) == list(BUILD_ORDER)
+    )
+    if full_sweep:
+        if report.get("geomean_speedup"):
+            metrics["wall/geomean_speedup"] = record.metric(
+                report["geomean_speedup"],
+                better=record.BETTER_HIGHER,
+                kind=record.KIND_WALL,
+            )
+        if report.get("geomean_speedup_warp"):
+            metrics["wall/geomean_speedup_warp"] = record.metric(
+                report["geomean_speedup_warp"],
+                better=record.BETTER_HIGHER,
+                kind=record.KIND_WALL,
+            )
     return metrics
 
 

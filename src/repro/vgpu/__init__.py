@@ -4,6 +4,7 @@ from repro.vgpu.config import (  # noqa: F401
     DEFAULT_CONFIG,
     ENGINE_DECODED,
     ENGINE_LEGACY,
+    ENGINE_WARP,
     ENGINES,
     GPUConfig,
     LaunchConfig,

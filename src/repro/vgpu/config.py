@@ -18,7 +18,8 @@ from repro.memory.addrspace import AddressSpace
 #: Execution engine names accepted by :class:`repro.vgpu.VirtualGPU`.
 ENGINE_DECODED = "decoded"
 ENGINE_LEGACY = "legacy"
-ENGINES = (ENGINE_DECODED, ENGINE_LEGACY)
+ENGINE_WARP = "warp"
+ENGINES = (ENGINE_DECODED, ENGINE_LEGACY, ENGINE_WARP)
 
 
 def resolve_sim_engine(engine: Optional[str] = None) -> str:

@@ -131,6 +131,8 @@ class DecodedFunction:
         "global_fixups",
         "func_fixups",
         "block_starts",
+        "insts",
+        "slot_map",
     )
 
     def __init__(self, function: Function) -> None:
@@ -149,6 +151,12 @@ class DecodedFunction:
         self.global_fixups: List[Tuple[int, GlobalVariable]] = []
         #: ``(slot, Function)`` resolved at bind time.
         self.func_fixups: List[Tuple[int, Function]] = []
+        #: The source :class:`Instruction` per op (parallel to ``ops``)
+        #: and the full value->slot map — retained so the warp engine's
+        #: vectorization pass can re-derive operand types and slots
+        #: without re-running slot assignment.
+        self.insts: List = []
+        self.slot_map: Dict[int, int] = {}
 
 
 class BoundFunction:
@@ -1460,6 +1468,7 @@ def decode_function(
     }
 
     ops = code.ops
+    insts = code.insts
     for block in func.blocks:
         for inst in block.instructions:
             if isinstance(inst, Phi):
@@ -1468,12 +1477,195 @@ def decode_function(
             if emitter is None:  # pragma: no cover
                 raise SimulationError(f"unhandled instruction {inst.opcode}")
             ops.append(emitter(inst, len(ops) + 1))
+            insts.append(inst)
 
     code.entry_pc = start_pc[func.entry]
     code.num_slots = len(slot_map)
+    code.slot_map = slot_map
     code.arg_slots = tuple(slot_map[id(a)] for a in func.args)
     code.arg_coerce = tuple(make_coerce(a.type) for a in func.args)
     return code
+
+
+# ===================================================================
+# Warp vectorization pass: control-flow analysis
+#
+# The warp engine (:mod:`repro.vgpu.warp`) executes all active lanes of
+# a warp in lockstep.  Divergent branches split the active-lane mask
+# and the split sides re-merge at the branch's *reconvergence point* —
+# the immediate post-dominator of the branching block, exactly the
+# IPDOM reconvergence discipline of real SIMT hardware.  This analysis
+# runs once per decoded function and computes
+#
+# * ``rpc``: per-``condbr`` pc, the op pc where split lanes reconverge
+#   (None when the sides only rejoin at function exit), and
+# * ``diamonds``: short, straight-line diamond/triangle regions that
+#   are profitable to *if-convert* — execute both arms back-to-back
+#   under their predicate masks instead of paying the divergence-stack
+#   bookkeeping ("Retrofitting Control Flow Graphs in LLVM IR for Auto
+#   Vectorization" covers the classic transformation; here it is purely
+#   an execution strategy, observables are bit-identical either way).
+# ===================================================================
+
+
+#: Opcode strings safe to execute under a partial lane mask inside an
+#: if-converted arm: no control flow, no calls/barriers, no per-lane
+#: allocation.  Loads/stores are fine — masked handlers only touch the
+#: lanes that would have executed the arm anyway.
+_IF_CONVERT_SAFE = frozenset({
+    "add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr",
+    "sdiv", "srem", "udiv", "urem",
+    "fadd", "fsub", "fmul", "fdiv", "frem",
+    "icmp", "fcmp", "select", "ptradd",
+    "zext", "sext", "trunc", "sitofp", "uitofp", "fptosi",
+    "fpext", "fptrunc", "ptrtoint", "inttoptr", "bitcast",
+    "load", "store",
+})
+
+#: Maximum op count per if-converted arm (terminator excluded).  Beyond
+#: this the mask-stack path amortizes its bookkeeping anyway.
+_IF_CONVERT_MAX_OPS = 8
+
+
+class WarpFlow:
+    """Reconvergence/if-conversion metadata for one decoded function."""
+
+    __slots__ = ("rpc", "diamonds")
+
+    def __init__(self) -> None:
+        #: condbr pc -> reconvergence pc (immediate post-dominator),
+        #: or None when the sides only rejoin at function exit.
+        self.rpc: Dict[int, Optional[int]] = {}
+        #: condbr pc -> ``(t_pc, t_ops, f_pc, f_ops, join_pc)``; an arm
+        #: with ``t_pc == join_pc`` (triangle) contributes zero ops.
+        self.diamonds: Dict[int, Tuple[int, int, int, int, int]] = {}
+
+
+def _postdominators(blocks, succ):
+    """Set-based iterative post-dominator solve over tiny CFGs.
+
+    Returns ``pdom[b]`` = the set of blocks (plus the virtual exit
+    ``None``) that post-dominate *b*.  Blocks whose terminator leaves
+    the function (``ret``/``unreachable``) flow to the virtual exit."""
+    exit_node = None
+    everything = set(blocks) | {exit_node}
+    pdom = {b: everything for b in blocks}
+    pdom[exit_node] = {exit_node}
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(blocks):
+            succs = succ[b]
+            new = set(pdom[succs[0]])
+            for s in succs[1:]:
+                new &= pdom[s]
+            new.add(b)
+            if new != pdom[b]:
+                pdom[b] = new
+                changed = True
+    return pdom
+
+
+def compute_warp_flow(code: DecodedFunction, if_convert: bool = True) -> WarpFlow:
+    """Analyze *code*'s CFG for the warp engine (see module section)."""
+    func = code.function
+    blocks = list(func.blocks)
+    start_pc = dict(zip(blocks, code.block_starts[0]))
+    succ = {}
+    preds: Dict[object, int] = {}
+    for b in blocks:
+        s = b.successors()
+        succ[b] = s if s else [None]
+        for t in s:
+            preds[t] = preds.get(t, 0) + 1
+    pdom = _postdominators(blocks, succ)
+
+    def ipdom(b):
+        """Closest strict post-dominator: the one whose own pdom set is
+        largest (it is post-dominated by every other strict pdom)."""
+        best, best_len = None, -1
+        for p in pdom[b]:
+            if p is b:
+                continue
+            n = len(pdom[p])
+            if n > best_len:
+                best, best_len = p, n
+        return best
+
+    flow = WarpFlow()
+    pc = 0
+    for block in blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                continue
+            if isinstance(inst, CondBr):
+                ip = ipdom(block)
+                flow.rpc[pc] = start_pc[ip] if ip is not None else None
+                if if_convert:
+                    d = _diamond(code, block, inst, start_pc, preds)
+                    if d is not None:
+                        flow.diamonds[pc] = d
+            pc += 1
+    return flow
+
+
+def _arm_ops(code: DecodedFunction, block, start_pc) -> Optional[int]:
+    """Op count of *block* as an if-convertible arm body (terminator
+    excluded), or None when the block is not a safe straight-line arm."""
+    term = block.terminator
+    if not isinstance(term, Br):
+        return None
+    n = 0
+    pc = start_pc[block]
+    for inst in block.instructions:
+        if isinstance(inst, Phi):
+            continue
+        if inst is term:
+            break
+        if code.ops[pc][1] not in _IF_CONVERT_SAFE:
+            return None
+        n += 1
+        pc += 1
+    return n if n <= _IF_CONVERT_MAX_OPS else None
+
+
+def _diamond(code, block, inst: CondBr, start_pc, preds):
+    """Match ``block``'s condbr against a short diamond or triangle."""
+    t, f = inst.true_target, inst.false_target
+    if t is f or t is block or f is block:
+        return None
+    t_is_arm = preds.get(t, 0) == 1
+    f_is_arm = preds.get(f, 0) == 1
+    if t_is_arm and f_is_arm:
+        tt, ft = t.terminator, f.terminator
+        if (not isinstance(tt, Br) or not isinstance(ft, Br)
+                or tt.target is not ft.target):
+            return None
+        join = tt.target
+        if join is t or join is f or join is block:
+            return None
+        t_ops, f_ops = _arm_ops(code, t, start_pc), _arm_ops(code, f, start_pc)
+        if t_ops is None or f_ops is None:
+            return None
+        return (start_pc[t], t_ops, start_pc[f], f_ops, start_pc[join])
+    if t_is_arm and not f_is_arm:
+        # Triangle: true arm, false edge goes straight to the join.
+        tt = t.terminator
+        if not isinstance(tt, Br) or tt.target is not f or f is block:
+            return None
+        t_ops = _arm_ops(code, t, start_pc)
+        if t_ops is None:
+            return None
+        return (start_pc[t], t_ops, start_pc[f], 0, start_pc[f])
+    if f_is_arm and not t_is_arm:
+        ft = f.terminator
+        if not isinstance(ft, Br) or ft.target is not t or t is block:
+            return None
+        f_ops = _arm_ops(code, f, start_pc)
+        if f_ops is None:
+            return None
+        return (start_pc[t], 0, start_pc[f], f_ops, start_pc[t])
+    return None
 
 
 # -- per-device decode + bind --------------------------------------------------

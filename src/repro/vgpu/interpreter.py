@@ -37,8 +37,6 @@ import warnings
 from concurrent.futures import ThreadPoolExecutor, wait as _wait_futures
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.memory.addrspace import AddressSpace, make_pointer, pointer_space
 from repro.memory.layout import DATA_LAYOUT
 from repro.memory.memmodel import (
@@ -81,7 +79,11 @@ from repro.vgpu.config import (
     resolve_sim_jobs,
     resolve_watchdog,
 )
-from repro.vgpu.config import ENGINE_DECODED, ENGINE_LEGACY  # noqa: F401 (re-export)
+from repro.vgpu.config import (  # noqa: F401 (re-export)
+    ENGINE_DECODED,
+    ENGINE_LEGACY,
+    ENGINE_WARP,
+)
 from repro.vgpu.cost import CostModel
 from repro.vgpu.errors import (
     BarrierDivergence,
@@ -105,6 +107,7 @@ from repro.vgpu.execstate import (  # noqa: F401 (Frame/ThreadStatus re-exported
     atomic_apply,
     math_intrinsic,
 )
+from repro.runtime.state import GV_OLD_TEAM_CONTEXT
 from repro.trace.categories import OVERHEAD_CATEGORIES
 from repro.trace.collector import active_or_none as _active_trace
 from repro.vgpu.launchspec import LaunchResult, LaunchSpec
@@ -187,8 +190,8 @@ class VirtualGPU:
         #: When True the simulator verifies assumptions and aligned-barrier
         #: alignment — the dynamic half of the paper's debug mode.
         self.debug_checks = debug_checks
-        #: Execution engine: ``decoded`` (default) or ``legacy``; also
-        #: selectable via ``REPRO_SIM_ENGINE``.
+        #: Execution engine: ``decoded`` (default), ``legacy`` or
+        #: ``warp``; also selectable via ``REPRO_SIM_ENGINE``.
         self.engine = resolve_sim_engine(engine)
         self.env = dict(env or {})
         #: Sanitizer mode (``REPRO_SANITIZE`` when not passed): swaps in
@@ -217,6 +220,16 @@ class VirtualGPU:
         #: Per-device bound decode cache (static decode is shared
         #: process-wide, see :mod:`repro.vgpu.decode`).
         self._bound_cache: Dict[Function, _decode.BoundFunction] = {}
+        #: Whether this module may execute in warp lockstep.  The old
+        #: runtime's shared-memory stack bumps a single team-wide top
+        #: with a plain load/add/store — a benign race under the serial
+        #: per-thread engines (each thread runs alone between barriers)
+        #: but a genuine one when a warp executes the sequence in
+        #: lockstep: every lane would read the same ``top`` and alias
+        #: the same allocation.  Such modules take the decoded scalar
+        #: path instead (bit-parity by construction), mirroring the
+        #: fault/sanitizer fallback below.
+        self._warp_lockstep_ok = GV_OLD_TEAM_CONTEXT not in module.globals
         #: Launch-time state read by the ``gpu.*`` geometry intrinsics.
         self._launch: Optional[LaunchConfig] = None
         self._dynamic_shared_bytes = 0
@@ -300,14 +313,18 @@ class VirtualGPU:
     def alloc_bytes(self, size: int) -> int:
         return self.memory.malloc(size)
 
-    def alloc_array(self, array: np.ndarray) -> int:
+    def alloc_array(self, array: "np.ndarray") -> int:
         """Copy a NumPy array into device global memory; returns a pointer."""
+        import numpy as np  # deferred: scalar-engine launches never need it
+
         data = np.ascontiguousarray(array)
         ptr = self.memory.malloc(max(1, data.nbytes))
         self.memory.write_raw(ptr, data.tobytes())
         return ptr
 
-    def read_array(self, ptr: int, dtype, count: int) -> np.ndarray:
+    def read_array(self, ptr: int, dtype, count: int) -> "np.ndarray":
+        import numpy as np  # deferred: scalar-engine launches never need it
+
         itemsize = np.dtype(dtype).itemsize
         raw = self.memory.read_raw(ptr, itemsize * count)
         return np.frombuffer(raw, dtype=dtype).copy()
@@ -604,10 +621,26 @@ class VirtualGPU:
         fstate = (self.fault_plan.team_state(team_id, launch)
                   if self.fault_plan is not None else None)
 
-        decoded = self.engine == ENGINE_DECODED
+        # Engine selection.  Teams with an armed fault plan (and sanitize
+        # mode, which never selects warp at construction) fall back from
+        # the warp engine to the decoded scalar engine: fault hooks and
+        # sanitizer checks then behave identically by construction, and
+        # the fault-free fast path stays free of per-op mode checks.
+        # Old-runtime modules take the same fallback — their shared
+        # stack is not lockstep-safe (see ``_warp_lockstep_ok``).
+        engine = self.engine
+        warp = (
+            engine == ENGINE_WARP
+            and fstate is None
+            and not self.sanitize
+            and self._warp_lockstep_ok
+        )
+        decoded = engine == ENGINE_DECODED or (engine == ENGINE_WARP and not warp)
         for thread in threads:
             thread.stats = stats
             thread.faults = fstate
+            if warp:
+                continue  # frames live inside the warp executors
             if decoded:
                 thread.frames.append(_decode.make_kernel_frame(self, kernel, args))
             else:
@@ -615,6 +648,10 @@ class VirtualGPU:
                 for formal, actual in zip(kernel.args, args):
                     frame.values[formal] = self._coerce(actual, formal.type)
                 thread.frames.append(frame)
+        if warp:
+            from repro.vgpu import warp as _warp  # deferred: needs numpy
+
+            warps = _warp.make_team_warps(self, kernel, args, threads, stats)
 
         # Barrier-granularity phase driver.  Threads leave `_run_thread`
         # either DONE or AT_BARRIER, so each pass over `alive` runs one
@@ -628,12 +665,16 @@ class VirtualGPU:
                     f"watchdog ({abort.seconds:g}s) expired: team {team_id} "
                     f"of @{kernel.name} aborted at a phase boundary"
                 )
-            for thread in alive:
-                if thread.status is _RUNNING:
-                    if decoded:
-                        _decode.run_thread(self, thread)
-                    else:
-                        self._run_thread(thread, launch, stats)
+            if warp:
+                for wx in warps:
+                    wx.run_phase()
+            else:
+                for thread in alive:
+                    if thread.status is _RUNNING:
+                        if decoded:
+                            _decode.run_thread(self, thread)
+                        else:
+                            self._run_thread(thread, launch, stats)
             still = [t for t in alive if t.status is not _DONE]
             if self.sanitize and still and len(still) < len(alive):
                 # Some threads exited the kernel while teammates wait at

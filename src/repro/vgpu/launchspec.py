@@ -65,7 +65,7 @@ class LaunchSpec:
     #: original) becomes the device watchdog.
     deadline_s: Optional[float] = None
     #: Execution engine override for this launch (``decoded`` /
-    #: ``legacy``; None = the device's engine).
+    #: ``legacy`` / ``warp``; None = the device's engine).
     engine: Optional[str] = None
     #: Fault-injection plan for this launch: a FaultPlan, a
     #: ``REPRO_FAULTS``-grammar string, or None = the device's plan.

@@ -8,12 +8,16 @@ import pytest
 from repro.bench import simperf
 from repro.bench.builds import BUILD_ORDER
 
+#: The CLI's --quick build: New RT (Nightly) — a lockstep-safe build,
+#: so the warp cell measures true vector execution.
+QUICK_BUILD = BUILD_ORDER[1]
+
 
 @pytest.fixture(scope="module")
 def quick_report():
     # Single cell, single repeat: the same shape the CLI's --quick uses.
     return simperf.simperf_matrix(
-        apps=["testsnap"], builds=[BUILD_ORDER[0]], repeats=1
+        apps=["testsnap"], builds=[QUICK_BUILD], repeats=1
     )
 
 
@@ -24,10 +28,12 @@ class TestSimperfSmoke:
         assert report["benchmark"] == "simperf"
         assert report["config"]["repeats"] == 1
         # One cell per engine.
-        assert {c["engine"] for c in report["cells"]} == {"legacy", "decoded"}
+        assert {c["engine"] for c in report["cells"]} == {
+            "legacy", "decoded", "warp"
+        }
         for cell in report["cells"]:
             assert cell["app"] == "testsnap"
-            assert cell["build"] == BUILD_ORDER[0]
+            assert cell["build"] == QUICK_BUILD
             assert cell["instructions"] > 0
             assert cell["cycles"] > 0
             assert cell["wall_seconds"] > 0
@@ -37,15 +43,39 @@ class TestSimperfSmoke:
     def test_engines_simulate_identical_work(self, quick_report):
         by_engine = {c["engine"]: c for c in quick_report["cells"]}
         # Same simulated work; only wall-clock may differ.
-        assert (by_engine["legacy"]["instructions"]
-                == by_engine["decoded"]["instructions"])
-        assert by_engine["legacy"]["cycles"] == by_engine["decoded"]["cycles"]
+        for engine in ("decoded", "warp"):
+            assert (by_engine["legacy"]["instructions"]
+                    == by_engine[engine]["instructions"])
+            assert by_engine["legacy"]["cycles"] == by_engine[engine]["cycles"]
+
+    def test_warp_cell_is_not_a_fallback(self, quick_report):
+        by_engine = {c["engine"]: c for c in quick_report["cells"]}
+        assert by_engine["warp"]["warp_fallback"] is False
+        # Scalar cells carry no fallback flag at all.
+        assert "warp_fallback" not in by_engine["legacy"]
+        assert "warp_fallback" not in by_engine["decoded"]
 
     def test_speedups_and_geomean(self, quick_report):
         speedups = quick_report["speedup_decoded_over_legacy"]
         assert list(speedups) == ["testsnap"]
-        assert speedups["testsnap"][BUILD_ORDER[0]] > 0
+        assert speedups["testsnap"][QUICK_BUILD] > 0
         assert quick_report["geomean_speedup"] > 0
+        warp = quick_report["speedup_warp_over_legacy"]
+        assert warp["testsnap"][QUICK_BUILD] > 0
+        assert quick_report["geomean_speedup_warp"] > 0
+
+    def test_fallback_cells_are_excluded_from_warp_geomean(self):
+        # Old RT is not lockstep-safe: its warp cell is flagged and the
+        # warp speedup table (and geomean) must skip it entirely.
+        report = simperf.simperf_matrix(
+            apps=["testsnap"], builds=[BUILD_ORDER[0]], repeats=1
+        )
+        by_engine = {c["engine"]: c for c in report["cells"]}
+        assert by_engine["warp"]["warp_fallback"] is True
+        assert report["speedup_warp_over_legacy"] == {}
+        assert report["geomean_speedup_warp"] == 0.0
+        # The decoded speedup column is unaffected.
+        assert report["geomean_speedup"] > 0
 
     def test_json_round_trip(self, quick_report, tmp_path):
         text = simperf.render_json(quick_report)
@@ -57,5 +87,5 @@ class TestSimperfSmoke:
     def test_table_mentions_every_cell(self, quick_report):
         table = simperf.format_simperf(quick_report)
         assert "testsnap" in table
-        assert "legacy" in table and "decoded" in table
+        assert "legacy" in table and "decoded" in table and "warp" in table
         assert "geomean" in table

@@ -106,6 +106,7 @@ class TestRegistry:
             "REPRO_SERVE_RETRIES", "REPRO_SERVE_BACKOFF_S",
             "REPRO_SERVE_BREAKER_THRESHOLD", "REPRO_SERVE_DRAIN_S",
             "REPRO_BENCH_HISTORY_DIR", "REPRO_BENCH_REGRESSION_PCT",
+            "REPRO_WARP_IF_CONVERT",
         }
         assert expected == set(envconfig.KNOBS)
 
@@ -256,6 +257,26 @@ class TestBenchKnobs:
         assert history.history_path() == str(tmp_path / "h" / "history.jsonl")
 
 
+class TestWarpKnobs:
+    def test_warp_engine_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        assert envconfig.sim_engine() == "warp"
+
+    def test_if_convert_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WARP_IF_CONVERT", raising=False)
+        assert envconfig.warp_if_convert() is True
+
+    @pytest.mark.parametrize("raw", ["0", "off", "false", "no"])
+    def test_if_convert_disable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WARP_IF_CONVERT", raw)
+        assert envconfig.warp_if_convert() is False
+
+    @pytest.mark.parametrize("raw", ["1", "on", "true", "yes"])
+    def test_if_convert_enable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WARP_IF_CONVERT", raw)
+        assert envconfig.warp_if_convert() is True
+
+
 class TestDelegation:
     """The legacy per-subsystem resolvers now route through envconfig."""
 
@@ -264,6 +285,8 @@ class TestDelegation:
 
         monkeypatch.setenv("REPRO_SIM_ENGINE", "legacy")
         assert resolve_sim_engine() == "legacy"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        assert resolve_sim_engine() == "warp"
         monkeypatch.setenv("REPRO_SIM_ENGINE", "bogus")
         with pytest.raises(ValueError):
             resolve_sim_engine()

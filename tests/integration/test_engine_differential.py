@@ -1,14 +1,18 @@
-"""Engine differential testing: the pre-decoded execution engine must
-be observationally indistinguishable from the legacy tree-walking
-interpreter on every proxy app under every build configuration.
+"""Engine differential testing: the pre-decoded and warp-vectorized
+execution engines must be observationally indistinguishable from the
+legacy tree-walking interpreter on every proxy app under every build
+configuration.
 
 "Indistinguishable" is bit-level: identical KernelProfiles (cycles,
 instruction and opcode counts, memory traffic, flops, barriers, static
 resources, per-team cycle totals, device output, shared-stack high
 water) and identical verified results — serially and with parallel
 team simulation (``sim_jobs > 1``).  The legacy engine is the
-deterministic reference; any decode-time shortcut that changes an
-observable number fails here.
+deterministic reference; any decode-time shortcut or lane-batched
+vector kernel that changes an observable number fails here.  (On
+old-runtime builds the warp engine transparently falls back to the
+decoded scalar path — see ``Interpreter._warp_lockstep_ok`` — so those
+cells pin the fallback's equivalence.)
 """
 
 import pytest
@@ -72,6 +76,8 @@ def test_decoded_engine_matches_legacy(app_name, build):
             ("legacy", "legacy", None),
             ("decoded", "decoded", None),
             ("decoded-parallel", "decoded", 2),
+            ("warp", "warp", None),
+            ("warp-parallel", "warp", 2),
         )
     }
     for mode, result in runs.items():
@@ -79,7 +85,7 @@ def test_decoded_engine_matches_legacy(app_name, build):
             f"{app_name}/{build}/{mode}: max error {result.max_error}"
         )
     reference = runs["legacy"].profile
-    for mode in ("decoded", "decoded-parallel"):
+    for mode in ("decoded", "decoded-parallel", "warp", "warp-parallel"):
         _assert_profiles_identical(
             reference, runs[mode].profile, f"{app_name}/{build}/{mode}"
         )

@@ -1,0 +1,252 @@
+"""Warp engine unit tests: the lane-mask machine and its fast paths.
+
+The integration sweep (``tests/integration/test_engine_differential``)
+pins whole-app bit-parity; these tests pin the mask machinery on
+hand-built kernels where the divergence shape is known exactly —
+a split/reconverge diamond, a nested split, an if-converted short
+diamond (with the pass forced on and off), a uniform branch that must
+never split, and the old-runtime lockstep fallback.
+"""
+
+import pytest
+
+from repro.ir import I64, Module, verify_module
+from repro.ir.types import I32, IntType
+from repro.ir.values import GlobalVariable
+from repro.memory.addrspace import AddressSpace
+from repro.runtime.state import GV_OLD_TEAM_CONTEXT
+from repro.vgpu import VirtualGPU
+from repro.vgpu.launchspec import LaunchSpec
+from tests.conftest import make_kernel
+
+pytestmark = pytest.mark.warp
+
+PROFILE_FIELDS = (
+    "cycles",
+    "instructions",
+    "opcode_counts",
+    "loads_by_space",
+    "stores_by_space",
+    "flops",
+    "barriers",
+    "team_cycles",
+    "output",
+)
+
+N = 16  # one partial warp
+
+
+def _run(module, engines=("legacy", "warp"), threads=N, configure=None):
+    """Launch @kern on a fresh device per engine; return
+    {engine: (profile, [out words])} for an i64[threads] out buffer."""
+    out = {}
+    for engine in engines:
+        gpu = VirtualGPU(module, engine=engine)
+        if configure is not None:
+            configure(gpu)
+        buf = gpu.alloc_bytes(8 * threads)
+        result = gpu.run(LaunchSpec(
+            kernel="kern", num_teams=1, threads_per_team=threads,
+            args=(buf, 0),
+        ))
+        words = [gpu.read_scalar(buf + 8 * i, I64) for i in range(threads)]
+        out[engine] = (result.profile, words)
+    return out
+
+
+def _assert_engines_agree(results):
+    (ref_prof, ref_words) = results["legacy"]
+    for engine, (prof, words) in results.items():
+        if engine == "legacy":
+            continue
+        assert words == ref_words, f"{engine}: memory differs"
+        for field in PROFILE_FIELDS:
+            assert getattr(prof, field) == getattr(ref_prof, field), (
+                f"{engine}: {field} differs"
+            )
+
+
+def _store_at_tid(b, base, tid, value):
+    slot = b.ptradd(base, b.mul(tid, b.i64(8)))
+    b.store(value, slot)
+
+
+def _diamond_module(*, widen=False):
+    """tid < 8 ? tid * 3 : tid + 100, stored per lane, then a
+    reconverged tail store all lanes execute.  ``widen`` pads the arms
+    past the if-conversion size limit so the split path runs."""
+    module = Module("m")
+    func, b = make_kernel(module)
+    base, _ = func.args
+    tid = b.sext(b.thread_id(), I64)
+    then_b = func.add_block("then")
+    else_b = func.add_block("else")
+    join_b = func.add_block("join")
+    b.cond_br(b.icmp("slt", tid, b.i64(8)), then_b, else_b)
+
+    b.set_insert_point(then_b)
+    t_val = b.mul(tid, b.i64(3))
+    if widen:
+        for _ in range(40):
+            t_val = b.add(t_val, b.i64(1))
+    b.br(join_b)
+    b.set_insert_point(else_b)
+    f_val = b.add(tid, b.i64(100))
+    if widen:
+        for _ in range(40):
+            f_val = b.add(f_val, b.i64(1))
+    b.br(join_b)
+
+    b.set_insert_point(join_b)
+    phi = b.phi(I64, "v")
+    phi.add_incoming(t_val, then_b)
+    phi.add_incoming(f_val, else_b)
+    _store_at_tid(b, base, tid, phi)
+    b.ret()
+    verify_module(module)
+    return module
+
+
+def test_divergent_diamond_reconverges():
+    """Split path: both sides run under disjoint masks and the join
+    block executes once for all lanes — bit-parity with legacy."""
+    _assert_engines_agree(_run(_diamond_module(widen=True)))
+
+
+def test_if_converted_diamond_matches_split_execution():
+    """The same short diamond must be bit-identical whether the
+    if-conversion pass predicates it or the mask machine splits it."""
+    module = _diamond_module()
+    on = _run(module)
+    off = _run(
+        _diamond_module(),
+        configure=lambda gpu: setattr(gpu, "warp_if_convert", False),
+    )
+    _assert_engines_agree(on)
+    _assert_engines_agree(off)
+    assert on["warp"][1] == off["warp"][1]
+    assert on["warp"][0].opcode_counts == off["warp"][0].opcode_counts
+
+
+def test_nested_divergence():
+    """Two nested data-dependent branches: reconvergence must unwind
+    innermost-first (the reconvergence-stack invariant)."""
+    module = Module("m")
+    func, b = make_kernel(module)
+    base, _ = func.args
+    tid = b.sext(b.thread_id(), I64)
+    outer_t = func.add_block("outer_t")
+    inner_t = func.add_block("inner_t")
+    inner_f = func.add_block("inner_f")
+    inner_j = func.add_block("inner_j")
+    outer_f = func.add_block("outer_f")
+    join = func.add_block("join")
+    b.cond_br(b.icmp("slt", tid, b.i64(12)), outer_t, outer_f)
+
+    b.set_insert_point(outer_t)
+    b.cond_br(b.icmp("slt", tid, b.i64(4)), inner_t, inner_f)
+    b.set_insert_point(inner_t)
+    a_val = b.mul(tid, b.i64(7))
+    b.br(inner_j)
+    b.set_insert_point(inner_f)
+    b_val = b.add(tid, b.i64(50))
+    b.br(inner_j)
+    b.set_insert_point(inner_j)
+    inner_phi = b.phi(I64)
+    inner_phi.add_incoming(a_val, inner_t)
+    inner_phi.add_incoming(b_val, inner_f)
+    b.br(join)
+
+    b.set_insert_point(outer_f)
+    c_val = b.sub(b.i64(0), tid)
+    b.br(join)
+
+    b.set_insert_point(join)
+    phi = b.phi(I64)
+    phi.add_incoming(inner_phi, inner_j)
+    phi.add_incoming(c_val, outer_f)
+    _store_at_tid(b, base, tid, phi)
+    b.ret()
+    verify_module(module)
+    _assert_engines_agree(_run(module))
+
+
+def test_uniform_branch_takes_the_fast_path():
+    """A branch on a uniform value never splits: the warp engine's
+    cycle/step accounting must equal legacy's exactly (a split would
+    re-execute the join-side bookkeeping per side)."""
+    module = Module("m")
+    func, b = make_kernel(module)
+    base, n = func.args
+    tid = b.sext(b.thread_id(), I64)
+    then_b = func.add_block("then")
+    else_b = func.add_block("else")
+    join_b = func.add_block("join")
+    # n is a launch argument — the same scalar for every lane.
+    b.cond_br(b.icmp("eq", n, b.i64(0)), then_b, else_b)
+    b.set_insert_point(then_b)
+    t_val = b.mul(tid, b.i64(2))
+    b.br(join_b)
+    b.set_insert_point(else_b)
+    f_val = b.i64(0)
+    b.br(join_b)
+    b.set_insert_point(join_b)
+    phi = b.phi(I64)
+    phi.add_incoming(t_val, then_b)
+    phi.add_incoming(f_val, else_b)
+    _store_at_tid(b, base, tid, phi)
+    b.ret()
+    verify_module(module)
+    # Disable if-conversion so a non-uniform handling bug could not
+    # hide behind predication.
+    _assert_engines_agree(_run(
+        module,
+        configure=lambda gpu: setattr(gpu, "warp_if_convert", False),
+    ))
+
+
+def test_divergent_loop_trip_counts():
+    """Lanes leave a loop at different trip counts; late lanes keep
+    iterating under a shrinking mask."""
+    module = Module("m")
+    func, b = make_kernel(module)
+    base, _ = func.args
+    tid = b.sext(b.thread_id(), I64)
+    head = func.add_block("head")
+    body = func.add_block("body")
+    exit_b = func.add_block("exit")
+    entry = b.block
+    b.br(head)
+
+    b.set_insert_point(head)
+    acc = b.phi(I64, "acc")
+    i = b.phi(I64, "i")
+    b.cond_br(b.icmp("sle", i, tid), body, exit_b)
+
+    b.set_insert_point(body)
+    acc2 = b.add(acc, i)
+    i2 = b.add(i, b.i64(1))
+    b.br(head)
+    acc.add_incoming(b.i64(0), entry)
+    acc.add_incoming(acc2, body)
+    i.add_incoming(b.i64(0), entry)
+    i.add_incoming(i2, body)
+
+    b.set_insert_point(exit_b)
+    _store_at_tid(b, base, tid, acc)
+    b.ret()
+    verify_module(module)
+    _assert_engines_agree(_run(module))
+
+
+def test_old_runtime_module_falls_back_to_decoded():
+    """A module carrying the old runtime's team context is not
+    lockstep-safe; the warp engine must run it on the decoded scalar
+    path and stay bit-identical."""
+    module = _diamond_module()
+    module.add_global(GlobalVariable(
+        GV_OLD_TEAM_CONTEXT, IntType(64), addrspace=AddressSpace.SHARED,
+    ))
+    gpu = VirtualGPU(module, engine="warp")
+    assert gpu._warp_lockstep_ok is False
+    _assert_engines_agree(_run(module, engines=("legacy", "decoded", "warp")))
